@@ -1,0 +1,72 @@
+"""Ablation (DESIGN.md #2) — append-only layout vs whole-posting rewrite.
+
+The Block Controller's APPEND rewrites only the posting's tail block; the
+naive alternative (and what generic KV stores do) rewrites the whole
+posting per insert. The metric is device blocks written per appended
+vector as the posting grows — APPEND stays O(1), rewrite grows linearly.
+"""
+
+from benchmarks.conftest import DIM, run_once
+from repro.bench.reporting import format_table
+from repro.storage.controller import BlockController
+from repro.storage.layout import PostingCodec, PostingData
+from repro.storage.ssd import SimulatedSSD, SSDProfile
+
+import numpy as np
+
+GROW_TO = 400
+
+
+def fill_one_by_one(append_mode: bool):
+    ssd = SimulatedSSD(1 << 12, SSDProfile())
+    codec = PostingCodec(DIM, ssd.block_size)
+    controller = BlockController(ssd, codec)
+    rng = np.random.default_rng(0)
+    controller.put(0, PostingData.empty(DIM))
+    checkpoints = {}
+    for i in range(GROW_TO):
+        entry = PostingData.from_rows(
+            [i], [0], rng.normal(size=DIM).astype(np.float32)
+        )
+        before = ssd.stats.snapshot()
+        if append_mode:
+            controller.append(0, entry)
+        else:
+            whole, _ = controller.get(0)
+            controller.put(0, whole.concat(entry))
+        window = ssd.stats.snapshot().delta(before)
+        if (i + 1) in (50, 100, 200, 400):
+            checkpoints[i + 1] = (window.block_writes, window.block_reads)
+    total_writes = ssd.stats.block_writes
+    return checkpoints, total_writes
+
+
+def test_ablation_append_only_layout(benchmark):
+    def experiment():
+        return fill_one_by_one(True), fill_one_by_one(False)
+
+    (append_ckpt, append_total), (rewrite_ckpt, rewrite_total) = run_once(
+        benchmark, experiment
+    )
+
+    rows = [
+        (
+            size,
+            append_ckpt[size][0],
+            rewrite_ckpt[size][0],
+        )
+        for size in sorted(append_ckpt)
+    ]
+    print()
+    print(
+        format_table(
+            ["posting size", "APPEND writes/op", "rewrite writes/op"],
+            rows,
+            title="Ablation: write amplification per inserted vector",
+        )
+    )
+    print(f"total blocks written: APPEND={append_total}, rewrite={rewrite_total}")
+    # APPEND is O(1) per op regardless of size; rewrite grows with size.
+    assert max(w for w, _ in append_ckpt.values()) <= 2
+    assert rewrite_ckpt[400][0] > rewrite_ckpt[50][0]
+    assert rewrite_total > append_total * 5

@@ -1,0 +1,67 @@
+"""Ablation (DESIGN.md #5) — graph vs brute-force centroid navigation.
+
+SPANN keeps centroids in SPTAG because brute-force navigation is linear in
+the posting count. This bench measures wall-clock centroid search time for
+both implementations as the centroid count grows, plus the graph's recall
+against the exact answer.
+"""
+
+import time
+
+import numpy as np
+
+from benchmarks.conftest import DIM, run_once
+from repro.bench.reporting import format_table
+from repro.centroids import BruteForceCentroidIndex, GraphCentroidIndex
+
+COUNTS = (500, 2000, 8000)
+QUERIES = 200
+
+
+def test_ablation_centroid_index(benchmark):
+    rng = np.random.default_rng(0)
+    centroids = rng.normal(size=(max(COUNTS), DIM)).astype(np.float32)
+    queries = rng.normal(size=(QUERIES, DIM)).astype(np.float32)
+
+    def measure(index_cls, count):
+        index = index_cls(DIM)
+        for pid in range(count):
+            index.add(pid, centroids[pid])
+        start = time.perf_counter()
+        results = [index.search(q, 8) for q in queries]
+        wall_us = (time.perf_counter() - start) * 1e6 / QUERIES
+        return wall_us, results
+
+    def experiment():
+        rows = []
+        for count in COUNTS:
+            brute_us, brute_res = measure(BruteForceCentroidIndex, count)
+            graph_us, graph_res = measure(GraphCentroidIndex, count)
+            overlap = np.mean(
+                [
+                    len(
+                        set(map(int, g.posting_ids)) & set(map(int, b.posting_ids))
+                    )
+                    / max(len(b.posting_ids), 1)
+                    for g, b in zip(graph_res, brute_res)
+                ]
+            )
+            rows.append((count, brute_us, graph_us, overlap))
+        return rows
+
+    rows = run_once(benchmark, experiment)
+
+    print()
+    print(
+        format_table(
+            ["centroids", "brute us/query", "graph us/query", "graph recall@8"],
+            rows,
+            title="Ablation: centroid index (SPTAG stand-in)",
+        )
+    )
+    # The graph's search cost grows sublinearly while staying accurate.
+    by_count = {r[0]: r for r in rows}
+    brute_growth = by_count[COUNTS[-1]][1] / by_count[COUNTS[0]][1]
+    graph_growth = by_count[COUNTS[-1]][2] / by_count[COUNTS[0]][2]
+    assert graph_growth < brute_growth
+    assert all(r[3] > 0.8 for r in rows)

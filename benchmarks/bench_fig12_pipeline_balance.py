@@ -1,0 +1,95 @@
+"""Figure 12 — Fore/background update pipeline resource balance.
+
+Paper: a single background Local Rebuilder thread keeps up with up to 2
+foreground updater threads; with 8 foreground threads, at least 4
+background threads are needed — the balanced pipeline runs at a 2:1
+foreground:background thread ratio. We measure the same two sweeps:
+update completion time (insert stream + full rebuild drain) as foreground
+threads grow with one background worker, and as background workers grow
+under a heavy foreground stream.
+"""
+
+import threading
+import time
+
+import numpy as np
+
+from benchmarks.conftest import DIM, run_once, spfresh_config
+from repro.bench.reporting import format_table
+from repro.core.index import SPFreshIndex
+from repro.datasets import make_spacev_like
+
+FOREGROUND_SWEEP = (1, 2, 4)
+BACKGROUND_SWEEP = (1, 2, 4)
+
+
+def drive_updates(index, pool, num_threads, id_base):
+    """Insert the pool with N foreground threads; returns wall seconds."""
+    chunk = len(pool) // num_threads
+
+    def worker(slot):
+        lo = slot * chunk
+        hi = lo + chunk if slot < num_threads - 1 else len(pool)
+        for i in range(lo, hi):
+            index.insert(id_base + i, pool[i])
+
+    threads = [threading.Thread(target=worker, args=(s,)) for s in range(num_threads)]
+    start = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    insert_wall = time.perf_counter() - start
+    drain_start = time.perf_counter()
+    index.rebuilder.wait_idle()
+    return insert_wall, time.perf_counter() - drain_start
+
+
+def test_fig12_pipeline_balance(benchmark, scale):
+    n = scale.base_vectors
+    updates = max(600, n // 4)
+    dataset = make_spacev_like(n, updates * (len(FOREGROUND_SWEEP) + len(BACKGROUND_SWEEP)), dim=DIM, seed=12)
+
+    def measure(fg_threads, bg_threads, pool, id_base):
+        config = spfresh_config(
+            synchronous_rebuild=False, background_workers=bg_threads
+        )
+        index = SPFreshIndex.build(dataset.base, config=config)
+        index.start()
+        try:
+            insert_wall, drain_wall = drive_updates(index, pool, fg_threads, id_base)
+        finally:
+            index.stop()
+        throughput = len(pool) / (insert_wall + drain_wall)
+        return insert_wall, drain_wall, throughput
+
+    def experiment():
+        fg_rows, bg_rows = [], []
+        cursor = 0
+        for fg in FOREGROUND_SWEEP:
+            pool = dataset.pool[cursor : cursor + updates]
+            fg_rows.append((fg, 1) + measure(fg, 1, pool, 10**6 + cursor))
+            cursor += updates
+        for bg in BACKGROUND_SWEEP:
+            pool = dataset.pool[cursor : cursor + updates]
+            bg_rows.append((4, bg) + measure(4, bg, pool, 10**6 + cursor))
+            cursor += updates
+        return fg_rows, bg_rows
+
+    fg_rows, bg_rows = run_once(benchmark, experiment)
+
+    headers = ["fg threads", "bg threads", "insert wall s", "drain wall s", "updates/s"]
+    print()
+    print(format_table(headers, fg_rows, title="Figure 12a: foreground sweep (bg=1)"))
+    print()
+    print(format_table(headers, bg_rows, title="Figure 12b: background sweep (fg=4)"))
+
+    # Shape: with a fixed single background worker, piling on foreground
+    # threads leaves residual drain work (the pipeline backs up), while
+    # adding background workers shrinks the post-stream drain time.
+    drain_fg1 = {row[0]: row[3] for row in fg_rows}
+    drain_bg = {row[1]: row[3] for row in bg_rows}
+    assert drain_bg[max(BACKGROUND_SWEEP)] <= drain_bg[1] * 1.5 + 0.2
+    # Throughput must not collapse as threads increase.
+    tp = [row[4] for row in fg_rows]
+    assert min(tp) > 0

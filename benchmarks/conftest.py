@@ -1,0 +1,64 @@
+"""Shared scaffolding for the figure/table benches.
+
+Every bench prints the series the corresponding paper figure plots, so the
+numbers land in bench logs (and EXPERIMENTS.md quotes them from there).
+Scale knobs live here; export ``REPRO_BENCH_SCALE=large`` for a slower,
+higher-fidelity run.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+import pytest
+
+from repro.core.config import SPFreshConfig
+
+DIM = 32
+
+
+@dataclass(frozen=True)
+class BenchScale:
+    base_vectors: int
+    days: int
+    daily_rate: float
+    queries: int
+    stress_base: int
+    stress_days: int
+
+
+SCALES = {
+    "small": BenchScale(
+        base_vectors=4000, days=12, daily_rate=0.015, queries=50,
+        stress_base=12000, stress_days=6,
+    ),
+    "large": BenchScale(
+        base_vectors=10000, days=30, daily_rate=0.01, queries=100,
+        stress_base=40000, stress_days=10,
+    ),
+}
+
+
+@pytest.fixture(scope="session")
+def scale() -> BenchScale:
+    return SCALES[os.environ.get("REPRO_BENCH_SCALE", "small")]
+
+
+def spfresh_config(**overrides) -> SPFreshConfig:
+    base = dict(
+        dim=DIM,
+        ssd_blocks=1 << 16,
+        max_posting_size=96,
+        min_posting_size=6,
+        build_target_posting_size=48,
+        reassign_range=16,
+        seed=0,
+    )
+    base.update(overrides)
+    return SPFreshConfig(**base).validate()
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,7 @@
+"""Setuptools shim: enables `pip install -e .` on environments without the
+`wheel` package (PEP 660 editable builds need it; the legacy path does not).
+"""
+
+from setuptools import setup
+
+setup()

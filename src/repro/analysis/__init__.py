@@ -1,0 +1,20 @@
+"""Post-processing of experiment results (trend/spike detection, reports)."""
+
+from repro.analysis.series import (
+    SeriesStats,
+    detect_spikes,
+    series_stats,
+    to_arrays,
+    trend_slope,
+)
+from repro.analysis.report import comparison_report, stability_verdict
+
+__all__ = [
+    "SeriesStats",
+    "detect_spikes",
+    "series_stats",
+    "to_arrays",
+    "trend_slope",
+    "comparison_report",
+    "stability_verdict",
+]

@@ -1,0 +1,53 @@
+"""Human-readable verdicts over experiment series.
+
+`comparison_report` renders the multi-system Figure-7 style comparison as
+one table with per-metric stability verdicts; `stability_verdict` is the
+single-series classifier behind it. Both are built on
+:mod:`repro.analysis.series` and used by the CLI and notebooks-style
+exploration.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.series import series_stats, to_arrays
+from repro.bench.reporting import format_table
+
+_METRIC_FIELDS = {
+    "recall": "recall",
+    "p99.9 (us)": "search_p999_us",
+    "insert (us)": "insert_mean_us",
+    "memory (MB)": "memory_mb",
+}
+
+
+def stability_verdict(values, spike_factor: float = 3.0) -> str:
+    """Classify a day series the way the paper's prose does."""
+    stats = series_stats(values, spike_factor)
+    if stats.spike_days:
+        return f"spiky ({len(stats.spike_days)} days >{spike_factor:.0f}x)"
+    if stats.slope_per_day > 0.02:
+        return f"growing ({stats.slope_per_day * 100:+.1f}%/day)"
+    if stats.slope_per_day < -0.02:
+        return f"degrading ({stats.slope_per_day * 100:+.1f}%/day)"
+    return "stable"
+
+
+def comparison_report(results_by_system: dict[str, list]) -> str:
+    """Verdict table for a multi-system day-series experiment.
+
+    ``results_by_system`` maps system name → list of DayMetrics (the
+    harness output). Returns an ASCII table: one row per system/metric
+    with mean value and stability verdict.
+    """
+    rows = []
+    for system, series in results_by_system.items():
+        arrays = to_arrays(series, list(_METRIC_FIELDS.values()))
+        for label, field in _METRIC_FIELDS.items():
+            values = arrays[field]
+            stats = series_stats(values)
+            rows.append((system, label, stats.mean, stats.maximum, stability_verdict(values)))
+    return format_table(
+        ["system", "metric", "mean", "max", "verdict"],
+        rows,
+        title="stability report",
+    )

@@ -1,0 +1,95 @@
+"""Numeric analysis of day-metric series.
+
+The paper's claims about Figure 7/9 are *qualitative statements about
+series*: "low and stable", "fluctuates significantly with dramatic
+increases", "grows gradually". This module turns those into computable
+predicates — trend slopes, spike detection, stability scores — used both
+by the benches' assertions and by :mod:`repro.analysis.report`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def to_arrays(day_metrics, fields: list[str]) -> dict[str, np.ndarray]:
+    """Convert a list of DayMetrics into a dict of per-field arrays."""
+    out: dict[str, np.ndarray] = {}
+    for field in fields:
+        out[field] = np.array(
+            [getattr(m, field) for m in day_metrics], dtype=np.float64
+        )
+    return out
+
+
+def trend_slope(values) -> float:
+    """Least-squares slope per day, normalized by the series mean.
+
+    0.0 means flat; +0.01 means the metric grows ~1% of its mean per day.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    if len(values) < 2:
+        return 0.0
+    mean = values.mean()
+    if mean == 0:
+        return 0.0
+    days = np.arange(len(values), dtype=np.float64)
+    slope = np.polyfit(days, values, 1)[0]
+    return float(slope / mean)
+
+
+def detect_spikes(values, factor: float = 3.0) -> list[int]:
+    """Indices where a value exceeds ``factor`` x the median of the rest.
+
+    Median-based so that a few giant spikes (DiskANN merge days) do not
+    mask themselves by inflating the baseline.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    if len(values) < 3:
+        return []
+    spikes = []
+    for i in range(len(values)):
+        rest = np.delete(values, i)
+        baseline = float(np.median(rest))
+        if baseline > 0 and values[i] > factor * baseline:
+            spikes.append(i)
+    return spikes
+
+
+@dataclass(frozen=True)
+class SeriesStats:
+    """Summary of one metric's day series."""
+
+    mean: float
+    minimum: float
+    maximum: float
+    slope_per_day: float  # normalized (fraction of mean per day)
+    spike_days: tuple[int, ...]
+    coefficient_of_variation: float
+
+    @property
+    def is_stable(self) -> bool:
+        """Flat trend, no spikes, low dispersion — the paper's "stable"."""
+        return (
+            abs(self.slope_per_day) < 0.02
+            and not self.spike_days
+            and self.coefficient_of_variation < 0.25
+        )
+
+
+def series_stats(values, spike_factor: float = 3.0) -> SeriesStats:
+    values = np.asarray(values, dtype=np.float64)
+    if len(values) == 0:
+        return SeriesStats(0.0, 0.0, 0.0, 0.0, (), 0.0)
+    mean = float(values.mean())
+    cv = float(values.std() / mean) if mean else 0.0
+    return SeriesStats(
+        mean=mean,
+        minimum=float(values.min()),
+        maximum=float(values.max()),
+        slope_per_day=trend_slope(values),
+        spike_days=tuple(detect_spikes(values, spike_factor)),
+        coefficient_of_variation=cv,
+    )

@@ -1,0 +1,18 @@
+"""Baseline systems the paper compares against (§5.1).
+
+* :func:`build_spann_plus` — SPANN+ : the append-only SPFresh variant with
+  the Local Rebuilder disabled (no split / merge / reassign);
+* :class:`repro.baselines.diskann.FreshDiskANNIndex` — the graph-based
+  out-of-place-update comparator (Vamana + PQ + streamingMerge).
+"""
+
+from repro.baselines.spann_plus import build_spann_plus
+from repro.baselines.diskann import DiskANNConfig, FreshDiskANNIndex
+from repro.baselines.vearch import VearchLikeIndex
+
+__all__ = [
+    "build_spann_plus",
+    "DiskANNConfig",
+    "FreshDiskANNIndex",
+    "VearchLikeIndex",
+]

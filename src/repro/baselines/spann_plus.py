@@ -1,0 +1,42 @@
+"""SPANN+ baseline (paper §5.1): append-only in-place updates.
+
+SPANN+ is "a modified version of SPANN which appends updates locally to a
+posting *without splitting and reassigning* — an append-only version of
+SPFresh without the Local Rebuilder module". It is exactly the SPFresh
+code with the three LIRE operators disabled, plus the background garbage
+collection the paper credits with keeping SPANN+ competitive on uniform
+data (it can prune stale vectors, but never re-balances postings).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.config import SPFreshConfig
+from repro.core.index import SPFreshIndex
+
+
+def build_spann_plus(
+    vectors: np.ndarray,
+    ids: np.ndarray | None = None,
+    config: SPFreshConfig | None = None,
+    **overrides,
+) -> SPFreshIndex:
+    """Build an SPANN+ index: SPFresh with the rebuilder switched off.
+
+    Accepts either a prepared config (its LIRE flags are forcibly cleared)
+    or keyword overrides applied on top of the SPANN+ preset. Postings can
+    grow without bound, so the simulated device and latency budget behave
+    exactly as the paper's Figure 2/7 describe: probes get more expensive
+    as postings lengthen.
+    """
+    if config is None:
+        config = SPFreshConfig.spann_plus(**overrides)
+    else:
+        config = config.with_overrides(
+            enable_split=False,
+            enable_merge=False,
+            enable_reassign=False,
+            **overrides,
+        )
+    return SPFreshIndex.build(vectors, ids=ids, config=config)

@@ -1,0 +1,25 @@
+"""Experiment harness that regenerates the paper's tables and figures."""
+
+from repro.bench.harness import (
+    TABLE2_THREAD_ALLOCATION,
+    TABLE3_THREAD_ALLOCATION,
+    DayMetrics,
+    DiskANNAdapter,
+    SPFreshAdapter,
+    run_update_simulation,
+)
+from repro.bench.reporting import format_series, format_table
+from repro.bench.cost_model import RebuildCostModel, table1_rows
+
+__all__ = [
+    "TABLE2_THREAD_ALLOCATION",
+    "TABLE3_THREAD_ALLOCATION",
+    "DayMetrics",
+    "DiskANNAdapter",
+    "SPFreshAdapter",
+    "run_update_simulation",
+    "format_series",
+    "format_table",
+    "RebuildCostModel",
+    "table1_rows",
+]

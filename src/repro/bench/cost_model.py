@@ -1,0 +1,116 @@
+"""Global-rebuild cost model (paper Table 1).
+
+Table 1 reports what it costs to rebuild a billion-scale index from
+scratch: DiskANN needs 1100 GB DRAM / 32 cores / 2 days (or 64 GB / 16
+cores / 5 days), SPANN 260 GB / 45 cores / 4 days. We cannot rebuild a
+billion vectors in Python; instead the bench *measures* a small-scale
+rebuild of each system here, fits the per-vector cost, and projects it to
+1e9 vectors with each system's scaling law:
+
+* build time — near-linear in n for both systems (hierarchical clustering
+  and graph construction are O(n log n); the log factor is absorbed into
+  the fitted constant, which is what the paper's own numbers reflect);
+* DRAM — DiskANN's build materializes the full graph + vectors in memory
+  (bytes/vector fitted from the in-memory working set); SPANN's build
+  holds the vectors plus clustering state.
+
+The point of the table is the *contrast* with SPFresh, which never pays
+this cost: LIRE's incremental work per day is also measured and printed in
+the same units.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class RebuildCostModel:
+    """Fitted small-scale costs, projectable to arbitrary scale."""
+
+    system: str
+    measured_vectors: int
+    measured_seconds: float
+    modelled_working_set_bytes: int
+
+    def projected_hours(self, target_vectors: int, speedup: float = 1.0) -> float:
+        """Wall-clock hours to rebuild ``target_vectors``.
+
+        ``speedup`` folds in the native-code + multicore advantage of the
+        paper's C++ systems over this Python reproduction; callers pass a
+        documented constant rather than hiding it here.
+        """
+        per_vector = self.measured_seconds / self.measured_vectors
+        return per_vector * target_vectors / speedup / 3600.0
+
+    def projected_memory_gb(self, target_vectors: int) -> float:
+        per_vector = self.modelled_working_set_bytes / self.measured_vectors
+        return per_vector * target_vectors / (1024**3)
+
+
+def measure_spfresh_build(vectors: np.ndarray, config) -> RebuildCostModel:
+    """Measure a full SPANN/SPFresh static build at reproduction scale."""
+    from repro.core.index import SPFreshIndex
+
+    start = time.perf_counter()
+    index = SPFreshIndex.build(vectors, config=config)
+    elapsed = time.perf_counter() - start
+    # Build working set: raw vectors + per-posting entries + index metadata.
+    working_set = vectors.nbytes * 2 + index.memory_bytes()
+    return RebuildCostModel(
+        system="SPANN (global rebuild)",
+        measured_vectors=len(vectors),
+        measured_seconds=elapsed,
+        modelled_working_set_bytes=working_set,
+    )
+
+
+def measure_diskann_build(vectors: np.ndarray, config) -> RebuildCostModel:
+    """Measure a full DiskANN graph build at reproduction scale."""
+    from repro.baselines.diskann import FreshDiskANNIndex
+
+    start = time.perf_counter()
+    index = FreshDiskANNIndex.build(vectors, config=config)
+    elapsed = time.perf_counter() - start
+    # DiskANN's build holds vectors + full adjacency in DRAM.
+    adjacency_bytes = len(vectors) * 8 * config.node_capacity()
+    working_set = vectors.nbytes * 2 + adjacency_bytes + index.memory_bytes()
+    return RebuildCostModel(
+        system="DiskANN (global rebuild)",
+        measured_vectors=len(vectors),
+        measured_seconds=elapsed,
+        modelled_working_set_bytes=working_set,
+    )
+
+
+PAPER_TABLE1 = [
+    ("DiskANN", "1100 GB", "32 cores", "2 days"),
+    ("DiskANN (constrained)", "64 GB", "16 cores", "5 days"),
+    ("SPANN", "260 GB", "45 cores", "4 days"),
+]
+
+# Native C++ with tens of cores vs single-threaded numpy/Python: the
+# constant used when projecting our measured build times to paper scale.
+NATIVE_SPEEDUP = 50.0
+
+
+def table1_rows(
+    spann_model: RebuildCostModel,
+    diskann_model: RebuildCostModel,
+    target_vectors: int = 1_000_000_000,
+) -> list[tuple]:
+    """Rows for the reproduced Table 1: paper numbers + our projections."""
+    rows = [
+        (
+            model.system,
+            f"{model.projected_memory_gb(target_vectors):.0f} GB (projected)",
+            f"{model.measured_seconds:.1f} s @ {model.measured_vectors} vecs",
+            f"{model.projected_hours(target_vectors, NATIVE_SPEEDUP) / 24:.1f} days "
+            f"(projected, /{NATIVE_SPEEDUP:.0f}x native)",
+        )
+        for model in (diskann_model, spann_model)
+    ]
+    return rows

@@ -1,0 +1,86 @@
+"""Plotting without a plotting library: ASCII charts for bench output.
+
+The paper's figures are time series and trade-off curves; the benches
+print the raw rows, and this module renders them as terminal charts so a
+bench log *shows* the shapes being asserted (flat SPFresh lines, DiskANN
+spikes, recall/latency frontiers) rather than burying them in numbers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_BARS = " ▁▂▃▄▅▆▇█"
+
+
+def sparkline(values, width: int | None = None) -> str:
+    """One-line unicode sparkline of a series."""
+    values = np.asarray(list(values), dtype=np.float64)
+    if len(values) == 0:
+        return ""
+    if width is not None and len(values) > width:
+        # Downsample by bucket means to the requested width.
+        edges = np.linspace(0, len(values), width + 1).astype(int)
+        values = np.array(
+            [values[a:b].mean() for a, b in zip(edges[:-1], edges[1:]) if b > a]
+        )
+    lo, hi = float(values.min()), float(values.max())
+    if hi - lo < 1e-12:
+        return _BARS[1] * len(values)
+    scaled = (values - lo) / (hi - lo) * (len(_BARS) - 2) + 1
+    return "".join(_BARS[int(round(s))] for s in scaled)
+
+
+def line_chart(
+    series: dict[str, list[float]],
+    height: int = 10,
+    width: int = 60,
+    title: str | None = None,
+) -> str:
+    """Multi-series ASCII line chart (each series one plot character)."""
+    if not series:
+        return ""
+    markers = "*o+x#@"
+    arrays = [np.asarray(v, dtype=np.float64) for v in series.values() if len(v)]
+    if not arrays:
+        return ""
+    all_values = np.concatenate(arrays)
+    if len(all_values) == 0:
+        return ""
+    lo, hi = float(all_values.min()), float(all_values.max())
+    if hi - lo < 1e-12:
+        hi = lo + 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for marker, (name, values) in zip(markers, series.items()):
+        values = np.asarray(values, dtype=np.float64)
+        if len(values) == 0:
+            continue
+        for i, value in enumerate(values):
+            col = int(i / max(len(values) - 1, 1) * (width - 1))
+            row = height - 1 - int((value - lo) / (hi - lo) * (height - 1))
+            grid[row][col] = marker
+    lines = []
+    if title:
+        lines.append(f"== {title} ==")
+    lines.append(f"{hi:#.4g} ┤" + "".join(grid[0]))
+    for row in grid[1:-1]:
+        lines.append(" " * 8 + "│" + "".join(row))
+    lines.append(f"{lo:#.4g} ┤" + "".join(grid[-1]))
+    legend = "   ".join(
+        f"{marker}={name}" for marker, name in zip(markers, series.keys())
+    )
+    lines.append(" " * 9 + legend)
+    return "\n".join(lines)
+
+
+def day_series_chart(
+    results_by_system: dict[str, list], field: str, title: str | None = None,
+    height: int = 10, width: int = 60,
+) -> str:
+    """Chart one DayMetrics field across systems."""
+    series = {
+        name: [getattr(m, field) for m in metrics]
+        for name, metrics in results_by_system.items()
+    }
+    return line_chart(series, height=height, width=width,
+                      title=title or field)

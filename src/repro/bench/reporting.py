@@ -1,0 +1,64 @@
+"""ASCII table/series rendering for bench output.
+
+Every figure bench prints the exact series the paper plots, as rows, so
+EXPERIMENTS.md can quote paper-vs-measured numbers directly from the bench
+logs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence], title: str | None = None
+) -> str:
+    """Render rows as a fixed-width ASCII table."""
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(f"== {title} ==")
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    day_metrics,
+    fields: Sequence[str] = (
+        "day",
+        "recall",
+        "search_p90_us",
+        "search_p99_us",
+        "search_p999_us",
+        "insert_mean_us",
+        "memory_mb",
+    ),
+    title: str | None = None,
+    every: int = 1,
+) -> str:
+    """Render a list of :class:`DayMetrics` as a day series table."""
+    rows = [
+        [getattr(m, f) for f in fields]
+        for i, m in enumerate(day_metrics)
+        if i % every == 0 or i == len(day_metrics) - 1
+    ]
+    return format_table(fields, rows, title=title)

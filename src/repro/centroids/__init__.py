@@ -1,0 +1,35 @@
+"""In-memory centroid navigation index (the paper's SPTAG component).
+
+SPANN/SPFresh keep one centroid per posting in an in-memory ANN structure
+used to route queries and inserts to candidate postings. Two interchangeable
+implementations are provided behind :class:`CentroidIndex`:
+
+* :class:`BruteForceCentroidIndex` — exact, simple, great for tests and the
+  default at reproduction scale;
+* :class:`GraphCentroidIndex` — an incremental navigable-small-world graph,
+  the scalable stand-in for SPTAG, used by the centroid-index ablation.
+"""
+
+from repro.centroids.base import CentroidIndex, CentroidSearchResult
+from repro.centroids.brute import BruteForceCentroidIndex
+from repro.centroids.graph import GraphCentroidIndex
+from repro.centroids.bkt import BKTreeCentroidIndex
+
+__all__ = [
+    "CentroidIndex",
+    "CentroidSearchResult",
+    "BruteForceCentroidIndex",
+    "GraphCentroidIndex",
+    "BKTreeCentroidIndex",
+]
+
+
+def make_centroid_index(kind: str, dim: int) -> CentroidIndex:
+    """Factory keyed by config string: ``"brute"``, ``"graph"``, ``"bkt"``."""
+    if kind == "brute":
+        return BruteForceCentroidIndex(dim)
+    if kind == "graph":
+        return GraphCentroidIndex(dim)
+    if kind == "bkt":
+        return BKTreeCentroidIndex(dim)
+    raise ValueError(f"unknown centroid index kind: {kind!r}")

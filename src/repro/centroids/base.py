@@ -1,0 +1,90 @@
+"""Interface shared by all centroid index implementations."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class CentroidSearchResult:
+    """Top-k nearest centroids for one query.
+
+    ``posting_ids`` and ``distances`` (squared L2) are parallel arrays
+    ordered by ascending distance.
+    """
+
+    posting_ids: np.ndarray
+    distances: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.posting_ids)
+
+    @property
+    def nearest(self) -> int:
+        if len(self.posting_ids) == 0:
+            raise LookupError("empty centroid search result")
+        return int(self.posting_ids[0])
+
+
+class CentroidIndex(abc.ABC):
+    """Mutable mapping posting id -> centroid with nearest-centroid search.
+
+    Implementations must be safe for concurrent reads with serialized
+    writes; SPFresh serializes centroid mutations through the Local
+    Rebuilder but searches run concurrently from query threads.
+    """
+
+    def __init__(self, dim: int) -> None:
+        if dim <= 0:
+            raise ValueError("dim must be positive")
+        self.dim = dim
+
+    @abc.abstractmethod
+    def add(self, posting_id: int, centroid: np.ndarray) -> None:
+        """Register a posting centroid. Fails if the id already exists."""
+
+    @abc.abstractmethod
+    def remove(self, posting_id: int) -> None:
+        """Unregister a posting centroid. Fails if the id is unknown."""
+
+    @abc.abstractmethod
+    def search(self, query: np.ndarray, k: int) -> CentroidSearchResult:
+        """Return up to ``k`` nearest centroids, ascending by distance."""
+
+    @abc.abstractmethod
+    def get(self, posting_id: int) -> np.ndarray:
+        """Centroid vector for a posting id."""
+
+    @abc.abstractmethod
+    def __contains__(self, posting_id: int) -> bool: ...
+
+    @abc.abstractmethod
+    def __len__(self) -> int: ...
+
+    @abc.abstractmethod
+    def items(self) -> list[tuple[int, np.ndarray]]:
+        """All (posting id, centroid) pairs; order unspecified."""
+
+    @abc.abstractmethod
+    def memory_bytes(self) -> int:
+        """Modelled DRAM footprint of the structure."""
+
+    def state_dict(self) -> dict:
+        """Serializable state for snapshots (implementation-agnostic)."""
+        pairs = self.items()
+        return {
+            "posting_ids": [pid for pid, _ in pairs],
+            "centroids": np.vstack([c for _, c in pairs])
+            if pairs
+            else np.empty((0, self.dim), dtype=np.float32),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Rebuild from a snapshot produced by :meth:`state_dict`."""
+        for pid, _ in list(self.items()):
+            self.remove(pid)
+        for pid, centroid in zip(state["posting_ids"], state["centroids"]):
+            self.add(int(pid), np.asarray(centroid, dtype=np.float32))

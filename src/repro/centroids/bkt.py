@@ -1,0 +1,227 @@
+"""Balanced k-means tree (BKT) centroid index — SPTAG's tree component.
+
+SPTAG combines balanced k-means trees with a neighborhood graph; the
+package's graph variant covers the latter, this module the former. The
+tree recursively partitions centroids with small balanced k-means; search
+is best-first over subtree centers, scoring leaf entries exactly and
+stopping when the closest unvisited subtree cannot beat the current top-k.
+
+Incremental maintenance: inserts descend to the nearest leaf and split it
+with k-means when it overflows; removals delete in place via a pid→leaf
+map (empty leaves are pruned lazily during splits).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+
+import numpy as np
+
+from repro.centroids.base import CentroidIndex, CentroidSearchResult
+from repro.clustering.balanced import balanced_kmeans
+from repro.util.distance import as_vector, sq_l2, sq_l2_batch, top_k_smallest
+from repro.util.errors import IndexError_
+
+
+class _Node:
+    """Tree node: internal (children) or leaf (pid → vector entries)."""
+
+    __slots__ = ("center", "children", "entries")
+
+    def __init__(self, center: np.ndarray) -> None:
+        self.center = center
+        self.children: list["_Node"] | None = None
+        self.entries: dict[int, np.ndarray] | None = {}
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.entries is not None
+
+
+class BKTreeCentroidIndex(CentroidIndex):
+    """Centroid index backed by a balanced k-means tree."""
+
+    def __init__(
+        self,
+        dim: int,
+        leaf_size: int = 32,
+        branch_factor: int = 4,
+        min_leaf_visits: int = 24,
+    ) -> None:
+        super().__init__(dim)
+        if leaf_size < branch_factor:
+            raise ValueError("leaf_size must be at least branch_factor")
+        self.leaf_size = leaf_size
+        self.branch_factor = branch_factor
+        self.min_leaf_visits = min_leaf_visits
+        self._lock = threading.RLock()
+        self._root = _Node(np.zeros(dim, dtype=np.float32))
+        self._leaf_of: dict[int, _Node] = {}
+        self._rng = np.random.default_rng(0)
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def add(self, posting_id: int, centroid: np.ndarray) -> None:
+        centroid = as_vector(centroid, self.dim).copy()
+        with self._lock:
+            if posting_id in self._leaf_of:
+                raise IndexError_(f"centroid for posting {posting_id} exists")
+            leaf = self._descend(centroid)
+            leaf.entries[posting_id] = centroid
+            self._leaf_of[posting_id] = leaf
+            if len(leaf.entries) > self.leaf_size:
+                self._split_leaf(leaf)
+
+    def remove(self, posting_id: int) -> None:
+        with self._lock:
+            leaf = self._leaf_of.pop(posting_id, None)
+            if leaf is None:
+                raise IndexError_(f"no centroid for posting {posting_id}")
+            del leaf.entries[posting_id]
+
+    def _descend(self, vector: np.ndarray) -> _Node:
+        node = self._root
+        while not node.is_leaf:
+            live = [c for c in node.children if self._subtree_nonempty(c)]
+            candidates = live or node.children
+            centers = np.vstack([c.center for c in candidates])
+            node = candidates[int(sq_l2_batch(vector, centers).argmin())]
+        return node
+
+    @staticmethod
+    def _subtree_nonempty(node: _Node) -> bool:
+        stack = [node]
+        while stack:
+            current = stack.pop()
+            if current.is_leaf:
+                if current.entries:
+                    return True
+            else:
+                stack.extend(current.children)
+        return False
+
+    def _split_leaf(self, leaf: _Node) -> None:
+        pids = list(leaf.entries.keys())
+        vectors = np.vstack([leaf.entries[pid] for pid in pids])
+        k = min(self.branch_factor, len(pids))
+        centers, assignments = balanced_kmeans(vectors, k, self._rng, max_iters=6)
+        if len(np.unique(assignments)) < 2:
+            # Degenerate data (identical centroids): slice evenly.
+            assignments = np.arange(len(pids)) % k
+            centers = np.vstack(
+                [vectors[assignments == j].mean(axis=0) for j in range(k)]
+            ).astype(np.float32)
+        children = []
+        for j in range(k):
+            child = _Node(centers[j].astype(np.float32))
+            for row in np.nonzero(assignments == j)[0]:
+                pid = pids[int(row)]
+                child.entries[pid] = leaf.entries[pid]
+                self._leaf_of[pid] = child
+            children.append(child)
+        leaf.entries = None
+        leaf.children = children
+
+    # ------------------------------------------------------------------
+    # search
+    # ------------------------------------------------------------------
+    def search(self, query: np.ndarray, k: int) -> CentroidSearchResult:
+        query = as_vector(query, self.dim)
+        with self._lock:
+            if k <= 0 or not self._leaf_of:
+                return CentroidSearchResult(
+                    posting_ids=np.empty(0, dtype=np.int64),
+                    distances=np.empty(0, dtype=np.float32),
+                )
+            counter = itertools.count()  # heap tie-breaker
+            frontier: list[tuple[float, int, _Node]] = [
+                (0.0, next(counter), self._root)
+            ]
+            found_ids: list[int] = []
+            found_dists: list[float] = []
+            worst = np.inf
+            leaves_visited = 0
+            while frontier:
+                dist, _, node = heapq.heappop(frontier)
+                if (
+                    leaves_visited >= self.min_leaf_visits
+                    and len(found_ids) >= k
+                    and dist > worst
+                ):
+                    break
+                if node.is_leaf:
+                    if not node.entries:
+                        continue
+                    leaves_visited += 1
+                    pids = list(node.entries.keys())
+                    vectors = np.vstack([node.entries[p] for p in pids])
+                    dists = sq_l2_batch(query, vectors)
+                    found_ids.extend(pids)
+                    found_dists.extend(float(d) for d in dists)
+                    if len(found_ids) >= k:
+                        worst = float(np.partition(np.array(found_dists), k - 1)[k - 1])
+                else:
+                    for child in node.children:
+                        d = sq_l2(query, child.center)
+                        heapq.heappush(frontier, (d, next(counter), child))
+            dists_arr = np.array(found_dists, dtype=np.float32)
+            top = top_k_smallest(dists_arr, k)
+            ids_arr = np.array(found_ids, dtype=np.int64)
+            return CentroidSearchResult(
+                posting_ids=ids_arr[top], distances=dists_arr[top]
+            )
+
+    # ------------------------------------------------------------------
+    # lookup / accounting
+    # ------------------------------------------------------------------
+    def get(self, posting_id: int) -> np.ndarray:
+        with self._lock:
+            leaf = self._leaf_of.get(posting_id)
+            if leaf is None:
+                raise IndexError_(f"no centroid for posting {posting_id}")
+            return leaf.entries[posting_id].copy()
+
+    def __contains__(self, posting_id: int) -> bool:
+        with self._lock:
+            return posting_id in self._leaf_of
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._leaf_of)
+
+    def items(self) -> list[tuple[int, np.ndarray]]:
+        with self._lock:
+            return [
+                (pid, leaf.entries[pid].copy())
+                for pid, leaf in self._leaf_of.items()
+            ]
+
+    def memory_bytes(self) -> int:
+        with self._lock:
+            vector_bytes = len(self._leaf_of) * self.dim * 4
+            node_count = self._count_nodes()
+            return vector_bytes + node_count * (self.dim * 4 + 64)
+
+    def _count_nodes(self) -> int:
+        count = 0
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            count += 1
+            if not node.is_leaf:
+                stack.extend(node.children)
+        return count
+
+    def depth(self) -> int:
+        """Maximum tree depth (diagnostics)."""
+        best = 0
+        stack = [(self._root, 1)]
+        while stack:
+            node, d = stack.pop()
+            best = max(best, d)
+            if not node.is_leaf:
+                stack.extend((c, d + 1) for c in node.children)
+        return best

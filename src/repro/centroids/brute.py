@@ -1,0 +1,106 @@
+"""Exact centroid index backed by a compact grow-only matrix.
+
+Rows of deleted centroids are recycled through a free-slot list so the
+matrix does not leak under the constant add/remove churn that LIRE's
+split/merge operations produce.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+from repro.centroids.base import CentroidIndex, CentroidSearchResult
+from repro.util.distance import as_vector, sq_l2_batch, top_k_smallest
+from repro.util.errors import IndexError_
+
+_INITIAL_CAPACITY = 64
+
+
+class BruteForceCentroidIndex(CentroidIndex):
+    """Exact top-k centroid search; O(#postings) per query."""
+
+    def __init__(self, dim: int) -> None:
+        super().__init__(dim)
+        self._lock = threading.RLock()
+        self._matrix = np.zeros((_INITIAL_CAPACITY, dim), dtype=np.float32)
+        self._row_pid = np.full(_INITIAL_CAPACITY, -1, dtype=np.int64)
+        self._pid_row: dict[int, int] = {}
+        self._free_rows: list[int] = list(range(_INITIAL_CAPACITY - 1, -1, -1))
+        self._active = 0  # rows in [0, _active) may be live; beyond are free
+
+    def _grow(self) -> None:
+        old_cap = len(self._matrix)
+        new_cap = old_cap * 2
+        matrix = np.zeros((new_cap, self.dim), dtype=np.float32)
+        matrix[:old_cap] = self._matrix
+        row_pid = np.full(new_cap, -1, dtype=np.int64)
+        row_pid[:old_cap] = self._row_pid
+        self._matrix = matrix
+        self._row_pid = row_pid
+        self._free_rows.extend(range(new_cap - 1, old_cap - 1, -1))
+
+    def add(self, posting_id: int, centroid: np.ndarray) -> None:
+        centroid = as_vector(centroid, self.dim)
+        with self._lock:
+            if posting_id in self._pid_row:
+                raise IndexError_(f"centroid for posting {posting_id} exists")
+            if not self._free_rows:
+                self._grow()
+            row = self._free_rows.pop()
+            self._matrix[row] = centroid
+            self._row_pid[row] = posting_id
+            self._pid_row[posting_id] = row
+            self._active = max(self._active, row + 1)
+
+    def remove(self, posting_id: int) -> None:
+        with self._lock:
+            row = self._pid_row.pop(posting_id, None)
+            if row is None:
+                raise IndexError_(f"no centroid for posting {posting_id}")
+            self._row_pid[row] = -1
+            self._free_rows.append(row)
+
+    def search(self, query: np.ndarray, k: int) -> CentroidSearchResult:
+        query = as_vector(query, self.dim)
+        with self._lock:
+            live = self._row_pid[: self._active] >= 0
+            rows = np.nonzero(live)[0]
+            if len(rows) == 0 or k <= 0:
+                return CentroidSearchResult(
+                    posting_ids=np.empty(0, dtype=np.int64),
+                    distances=np.empty(0, dtype=np.float32),
+                )
+            dists = sq_l2_batch(query, self._matrix[rows])
+            top = top_k_smallest(dists, k)
+            return CentroidSearchResult(
+                posting_ids=self._row_pid[rows[top]].copy(),
+                distances=dists[top].copy(),
+            )
+
+    def get(self, posting_id: int) -> np.ndarray:
+        with self._lock:
+            row = self._pid_row.get(posting_id)
+            if row is None:
+                raise IndexError_(f"no centroid for posting {posting_id}")
+            return self._matrix[row].copy()
+
+    def __contains__(self, posting_id: int) -> bool:
+        with self._lock:
+            return posting_id in self._pid_row
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._pid_row)
+
+    def items(self) -> list[tuple[int, np.ndarray]]:
+        with self._lock:
+            return [
+                (pid, self._matrix[row].copy())
+                for pid, row in self._pid_row.items()
+            ]
+
+    def memory_bytes(self) -> int:
+        with self._lock:
+            return int(self._matrix.nbytes + self._row_pid.nbytes)

@@ -1,0 +1,176 @@
+"""Incremental navigable small-world graph over posting centroids.
+
+Stand-in for SPTAG: the paper only requires the centroid structure to
+answer "k nearest centroids" quickly while supporting inserts (new postings
+from splits) and deletes (merged/split-away postings). This implementation
+follows the flat-NSW recipe: greedy best-first search from an entry point,
+connect each new node to its ``m`` nearest discovered neighbors with
+bidirectional edges, prune degrees, and patch the neighborhood when a node
+is deleted by cross-linking its former neighbors.
+"""
+
+from __future__ import annotations
+
+import heapq
+import threading
+
+import numpy as np
+
+from repro.centroids.base import CentroidIndex, CentroidSearchResult
+from repro.util.distance import as_vector, sq_l2
+from repro.util.errors import IndexError_
+
+
+class GraphCentroidIndex(CentroidIndex):
+    """NSW-style approximate centroid index with insert/delete support.
+
+    Parameters mirror common HNSW/NSW settings: ``m`` is the target degree,
+    ``ef_construction``/``ef_search`` the beam widths for build and query.
+    """
+
+    def __init__(
+        self,
+        dim: int,
+        m: int = 12,
+        ef_construction: int = 48,
+        ef_search: int = 48,
+    ) -> None:
+        super().__init__(dim)
+        if m < 2:
+            raise ValueError("m must be at least 2")
+        self.m = m
+        self.ef_construction = ef_construction
+        self.ef_search = ef_search
+        self._lock = threading.RLock()
+        self._vectors: dict[int, np.ndarray] = {}
+        self._neighbors: dict[int, set[int]] = {}
+        self._entry_point: int | None = None
+
+    # ------------------------------------------------------------------
+    # internal search
+    # ------------------------------------------------------------------
+    def _beam_search(self, query: np.ndarray, ef: int) -> list[tuple[float, int]]:
+        """Best-first search; returns (distance, node) pairs, ascending."""
+        entry = self._entry_point
+        if entry is None:
+            return []
+        visited = {entry}
+        d0 = sq_l2(query, self._vectors[entry])
+        # candidates: min-heap by distance; results: max-heap (negated).
+        candidates: list[tuple[float, int]] = [(d0, entry)]
+        results: list[tuple[float, int]] = [(-d0, entry)]
+        while candidates:
+            dist, node = heapq.heappop(candidates)
+            if len(results) >= ef and dist > -results[0][0]:
+                break
+            for nbr in self._neighbors[node]:
+                if nbr in visited:
+                    continue
+                visited.add(nbr)
+                d = sq_l2(query, self._vectors[nbr])
+                if len(results) < ef or d < -results[0][0]:
+                    heapq.heappush(candidates, (d, nbr))
+                    heapq.heappush(results, (-d, nbr))
+                    if len(results) > ef:
+                        heapq.heappop(results)
+        ordered = sorted((-negd, node) for negd, node in results)
+        return ordered
+
+    def _prune_degree(self, node: int) -> None:
+        """Keep only the ``m`` closest neighbors of ``node``."""
+        nbrs = self._neighbors[node]
+        limit = self.m * 2  # allow slack; hard-prune beyond 2m
+        if len(nbrs) <= limit:
+            return
+        vec = self._vectors[node]
+        ranked = sorted(nbrs, key=lambda other: sq_l2(vec, self._vectors[other]))
+        keep = set(ranked[: self.m])
+        for dropped in nbrs - keep:
+            self._neighbors[dropped].discard(node)
+        self._neighbors[node] = keep
+
+    # ------------------------------------------------------------------
+    # CentroidIndex API
+    # ------------------------------------------------------------------
+    def add(self, posting_id: int, centroid: np.ndarray) -> None:
+        centroid = as_vector(centroid, self.dim).copy()
+        with self._lock:
+            if posting_id in self._vectors:
+                raise IndexError_(f"centroid for posting {posting_id} exists")
+            nearest = self._beam_search(centroid, self.ef_construction)
+            self._vectors[posting_id] = centroid
+            links = {node for _, node in nearest[: self.m]}
+            self._neighbors[posting_id] = set(links)
+            for nbr in links:
+                self._neighbors[nbr].add(posting_id)
+                self._prune_degree(nbr)
+            if self._entry_point is None:
+                self._entry_point = posting_id
+
+    def remove(self, posting_id: int) -> None:
+        with self._lock:
+            if posting_id not in self._vectors:
+                raise IndexError_(f"no centroid for posting {posting_id}")
+            nbrs = self._neighbors.pop(posting_id)
+            del self._vectors[posting_id]
+            for nbr in nbrs:
+                self._neighbors[nbr].discard(posting_id)
+            # Patch the hole: cross-link former neighbors so the graph stays
+            # connected (the standard cheap delete repair).
+            nbr_list = list(nbrs)
+            for i, a in enumerate(nbr_list):
+                for b in nbr_list[i + 1 :]:
+                    if len(self._neighbors[a]) < self.m or len(
+                        self._neighbors[b]
+                    ) < self.m:
+                        self._neighbors[a].add(b)
+                        self._neighbors[b].add(a)
+            for nbr in nbr_list:
+                self._prune_degree(nbr)
+            if self._entry_point == posting_id:
+                self._entry_point = next(iter(self._vectors), None)
+
+    def search(self, query: np.ndarray, k: int) -> CentroidSearchResult:
+        query = as_vector(query, self.dim)
+        with self._lock:
+            if k <= 0 or not self._vectors:
+                return CentroidSearchResult(
+                    posting_ids=np.empty(0, dtype=np.int64),
+                    distances=np.empty(0, dtype=np.float32),
+                )
+            ef = max(self.ef_search, k)
+            ordered = self._beam_search(query, ef)[:k]
+            return CentroidSearchResult(
+                posting_ids=np.array([node for _, node in ordered], dtype=np.int64),
+                distances=np.array([d for d, _ in ordered], dtype=np.float32),
+            )
+
+    def get(self, posting_id: int) -> np.ndarray:
+        with self._lock:
+            vec = self._vectors.get(posting_id)
+            if vec is None:
+                raise IndexError_(f"no centroid for posting {posting_id}")
+            return vec.copy()
+
+    def __contains__(self, posting_id: int) -> bool:
+        with self._lock:
+            return posting_id in self._vectors
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._vectors)
+
+    def items(self) -> list[tuple[int, np.ndarray]]:
+        with self._lock:
+            return [(pid, vec.copy()) for pid, vec in self._vectors.items()]
+
+    def memory_bytes(self) -> int:
+        with self._lock:
+            vec_bytes = len(self._vectors) * self.dim * 4
+            edge_bytes = sum(len(n) for n in self._neighbors.values()) * 8
+            return vec_bytes + edge_bytes
+
+    def edge_count(self) -> int:
+        """Total directed edges (diagnostics for graph-quality tests)."""
+        with self._lock:
+            return sum(len(n) for n in self._neighbors.values())

@@ -1,0 +1,238 @@
+"""Command-line driver: run reproduction experiments without pytest.
+
+Usage::
+
+    python -m repro overview                 # build + quick stats
+    python -m repro simulate --days 10       # Figure-7-style day series
+    python -m repro compare --days 7         # SPFresh vs SPANN+ vs DiskANN
+    python -m repro sweep-nprobe             # recall/latency trade-off
+
+Every subcommand prints the same ASCII tables the benches emit, so the
+CLI is the interactive way to poke at the system; `benchmarks/` remains
+the reproducible record.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro.core.config import SPFreshConfig
+from repro.core.index import SPFreshIndex
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--base", type=int, default=4000, help="base vectors")
+    parser.add_argument("--dim", type=int, default=32, help="dimensionality")
+    parser.add_argument("--queries", type=int, default=50, help="query count")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--skewed", action="store_true", help="SPACEV-like skew + drift"
+    )
+
+
+def _dataset(args, pool: int = 0):
+    from repro.datasets import make_sift_like, make_spacev_like
+
+    maker = make_spacev_like if args.skewed else make_sift_like
+    return maker(args.base, pool, dim=args.dim, seed=args.seed)
+
+
+def cmd_overview(args) -> int:
+    """Build an index over synthetic data and print its shape/stats."""
+    dataset = _dataset(args)
+    index = SPFreshIndex.build(
+        dataset.base, config=SPFreshConfig(dim=args.dim, seed=args.seed)
+    )
+    sizes = index.posting_sizes()
+    print(f"vectors:   {index.live_vector_count}")
+    print(f"postings:  {index.num_postings} "
+          f"(sizes min/mean/max {sizes.min()}/{sizes.mean():.0f}/{sizes.max()})")
+    print(f"DRAM:      {index.memory_bytes() / 1024:.1f} KiB")
+    result = index.search(dataset.base[0] + 0.01, 10)
+    print(f"probe:     {result.latency_us:.0f} us simulated "
+          f"({result.postings_probed} postings, "
+          f"{result.entries_scanned} entries)")
+    histogram = index.replica_histogram()
+    total = sum(histogram.values())
+    mean_r = sum(k * v for k, v in histogram.items()) / total
+    print(f"replicas:  mean {mean_r:.2f}, "
+          f"{sum(v for k, v in histogram.items() if k > 1) / total:.0%} "
+          f"of vectors have >1 copy")
+    return 0
+
+
+def cmd_simulate(args) -> int:
+    """Run a Figure-7-style multi-day churn simulation on SPFresh."""
+    from repro.bench.harness import SPFreshAdapter, run_update_simulation, summarize
+    from repro.bench.reporting import format_series
+    from repro.datasets import workload_a, workload_b
+
+    maker = workload_a if args.skewed else workload_b
+    workload = maker(
+        n_base=args.base,
+        days=args.days,
+        daily_rate=args.rate,
+        dim=args.dim,
+        num_queries=args.queries,
+        seed=args.seed,
+    )
+    index = SPFreshIndex.build(
+        workload.base_vectors,
+        ids=workload.base_ids,
+        config=SPFreshConfig(dim=args.dim, seed=args.seed),
+    )
+    series = run_update_simulation(
+        SPFreshAdapter(index), workload, k=10, progress=True
+    )
+    print()
+    print(format_series(series, every=max(1, args.days // 10)))
+    stats = summarize(series)
+    print(f"\nmean recall {stats['mean_recall']:.3f}  "
+          f"mean P99.9 {stats['mean_p999_ms']:.2f} ms  "
+          f"peak DRAM {stats['peak_memory_mb']:.2f} MB")
+    return 0
+
+
+def cmd_compare(args) -> int:
+    """Run SPFresh vs SPANN+ (and optionally DiskANN) on one workload."""
+    from repro.baselines import (
+        DiskANNConfig,
+        FreshDiskANNIndex,
+        build_spann_plus,
+    )
+    from repro.bench.harness import (
+        DiskANNAdapter,
+        SPFreshAdapter,
+        run_update_simulation,
+        summarize,
+    )
+    from repro.bench.reporting import format_table
+    from repro.datasets import workload_a, workload_b
+
+    maker = workload_a if args.skewed else workload_b
+    workload = maker(
+        n_base=args.base,
+        days=args.days,
+        daily_rate=args.rate,
+        dim=args.dim,
+        num_queries=args.queries,
+        seed=args.seed,
+    )
+    config = SPFreshConfig(dim=args.dim, seed=args.seed)
+    adapters = [
+        SPFreshAdapter(
+            SPFreshIndex.build(
+                workload.base_vectors, ids=workload.base_ids, config=config
+            )
+        ),
+        SPFreshAdapter(
+            build_spann_plus(
+                workload.base_vectors, ids=workload.base_ids, config=config
+            ),
+            name="SPANN+",
+            gc_every=5,
+        ),
+    ]
+    if not args.skip_diskann:
+        adapters.append(
+            DiskANNAdapter(
+                FreshDiskANNIndex.build(
+                    workload.base_vectors,
+                    ids=workload.base_ids,
+                    config=DiskANNConfig(
+                        dim=args.dim,
+                        merge_threshold=max(
+                            60, int(args.base * args.rate * 3)
+                        ),
+                    ),
+                )
+            )
+        )
+    rows = []
+    for adapter in adapters:
+        print(f"running {adapter.name}...")
+        stats = summarize(run_update_simulation(adapter, workload, k=10))
+        rows.append(
+            (
+                adapter.name,
+                stats["mean_recall"],
+                stats["mean_p999_ms"],
+                stats["max_p999_ms"],
+                stats["mean_insert_us"],
+                stats["peak_memory_mb"],
+            )
+        )
+    print()
+    print(
+        format_table(
+            ["system", "recall", "p99.9 ms", "max p99.9", "insert us", "mem MB"],
+            rows,
+            title=f"{args.days} days of {args.rate:.0%} daily churn",
+        )
+    )
+    return 0
+
+
+def cmd_sweep_nprobe(args) -> int:
+    """Trace the recall/latency trade-off across nprobe settings."""
+    from repro.bench.reporting import format_table
+    from repro.datasets import exact_knn
+    from repro.metrics import recall_curve
+
+    dataset = _dataset(args)
+    index = SPFreshIndex.build(
+        dataset.base, config=SPFreshConfig(dim=args.dim, seed=args.seed)
+    )
+    queries = dataset.base[: args.queries] + 0.01
+    truth = exact_knn(dataset.base, np.arange(args.base), queries, 10)
+    curve = recall_curve(index.search, queries, truth, 10, [1, 2, 4, 8, 16, 32])
+    print(
+        format_table(
+            ["nprobe", "recall10@10", "mean latency us"],
+            curve,
+            title="recall/latency trade-off",
+        )
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Assemble the argparse tree for `python -m repro`."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="SPFresh reproduction CLI"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    overview = sub.add_parser("overview", help="build an index, print stats")
+    _add_common(overview)
+    overview.set_defaults(func=cmd_overview)
+
+    simulate = sub.add_parser("simulate", help="multi-day churn simulation")
+    _add_common(simulate)
+    simulate.add_argument("--days", type=int, default=10)
+    simulate.add_argument("--rate", type=float, default=0.01)
+    simulate.set_defaults(func=cmd_simulate)
+
+    compare = sub.add_parser("compare", help="SPFresh vs baselines")
+    _add_common(compare)
+    compare.add_argument("--days", type=int, default=7)
+    compare.add_argument("--rate", type=float, default=0.02)
+    compare.add_argument("--skip-diskann", action="store_true")
+    compare.set_defaults(func=cmd_compare)
+
+    sweep = sub.add_parser("sweep-nprobe", help="recall/latency curve")
+    _add_common(sweep)
+    sweep.set_defaults(func=cmd_sweep_nprobe)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,73 @@
+"""Hierarchical balanced clustering for the static index build (SPANN §3.1).
+
+Building one flat balanced k-means over millions of points with a huge k is
+quadratic in k; SPANN instead recursively partitions the data with a small
+branching factor until every leaf holds at most the target posting size.
+The leaves become the initial postings, with centroids re-computed from
+their members.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.clustering.balanced import balanced_kmeans
+
+
+@dataclass
+class ClusterLeaf:
+    """One leaf partition: its centroid and the member row indices."""
+
+    centroid: np.ndarray
+    member_indices: np.ndarray
+
+
+def hierarchical_balanced_clustering(
+    points: np.ndarray,
+    target_leaf_size: int,
+    rng: np.random.Generator,
+    branch_factor: int = 8,
+    max_iters: int = 10,
+    balance_weight: float = 4.0,
+) -> list[ClusterLeaf]:
+    """Partition ``points`` into leaves of at most ``target_leaf_size``.
+
+    Returns leaves in deterministic order (given the RNG); every input row
+    appears in exactly one leaf. The recursion splits any oversized group
+    with balanced k-means; groups that refuse to shrink (duplicate-heavy
+    data) are chopped into even slices to guarantee termination.
+    """
+    if target_leaf_size <= 0:
+        raise ValueError("target_leaf_size must be positive")
+    if branch_factor < 2:
+        raise ValueError("branch_factor must be at least 2")
+    points = np.ascontiguousarray(points, dtype=np.float32)
+    leaves: list[ClusterLeaf] = []
+    # Explicit stack instead of recursion: datasets can force deep trees.
+    stack: list[np.ndarray] = [np.arange(len(points), dtype=np.int64)]
+    while stack:
+        indices = stack.pop()
+        if len(indices) == 0:
+            continue
+        if len(indices) <= target_leaf_size:
+            centroid = points[indices].mean(axis=0).astype(np.float32)
+            leaves.append(ClusterLeaf(centroid=centroid, member_indices=indices))
+            continue
+        subset = points[indices]
+        k = min(branch_factor, -(-len(indices) // target_leaf_size), len(indices))
+        k = max(k, 2)
+        _, assignments = balanced_kmeans(
+            subset, k, rng, max_iters=max_iters, balance_weight=balance_weight
+        )
+        groups = [indices[assignments == j] for j in range(k)]
+        groups = [g for g in groups if len(g) > 0]
+        if len(groups) <= 1:
+            # No progress (e.g. all-identical vectors): slice evenly.
+            groups = [
+                indices[start : start + target_leaf_size]
+                for start in range(0, len(indices), target_leaf_size)
+            ]
+        stack.extend(groups)
+    return leaves

@@ -1,0 +1,32 @@
+"""SPFresh core: the LIRE protocol and the public index facade.
+
+Module map (paper section in parentheses):
+
+* :mod:`repro.core.config` — all tunables (§5.5 parameters included)
+* :mod:`repro.core.version_map` — in-memory version map with CAS (§4.1/§4.2)
+* :mod:`repro.core.conditions` — the two NPA necessary conditions (§3.3)
+* :mod:`repro.core.jobs` — split/merge/reassign job types and queue (§4.2)
+* :mod:`repro.core.updater` — foreground in-place Updater (§4.1)
+* :mod:`repro.core.rebuilder` — background Local Rebuilder (§4.2)
+* :mod:`repro.core.index` — :class:`SPFreshIndex`, the public API (§4)
+* :mod:`repro.core.recovery` — snapshot + WAL crash recovery (§4.4)
+"""
+
+from repro.core.config import SPFreshConfig
+from repro.core.index import SPFreshIndex, SearchResult
+from repro.core.stats import LireStats
+from repro.core.version_map import VersionMap
+from repro.core.maintenance import MaintenanceScanner, ScanReport
+from repro.core.autotune import TuneResult, tune_nprobe
+
+__all__ = [
+    "SPFreshConfig",
+    "SPFreshIndex",
+    "SearchResult",
+    "LireStats",
+    "VersionMap",
+    "MaintenanceScanner",
+    "ScanReport",
+    "TuneResult",
+    "tune_nprobe",
+]

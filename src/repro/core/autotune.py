@@ -1,0 +1,90 @@
+"""Service-level auto-tuning: pick nprobe for a recall target.
+
+Operators of the paper's system choose nprobe (postings probed per query)
+by hand to trade recall against latency (Figure 10's x-axis). This helper
+automates the choice: given a validation query set with exact ground
+truth, binary-search the smallest nprobe whose measured recall meets the
+target. Recall is monotone (non-decreasing) in nprobe — more postings can
+only add candidates — which is what makes the binary search sound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.metrics.recall import recall_at_k
+
+
+@dataclass(frozen=True)
+class TuneResult:
+    """Outcome of an nprobe tuning run."""
+
+    nprobe: int
+    recall: float
+    mean_latency_us: float
+    target_met: bool
+    evaluations: int
+
+
+def _evaluate(index, queries, ground_truth, k, nprobe) -> tuple[float, float]:
+    ids, latencies = [], []
+    for query in queries:
+        result = index.search(query, k, nprobe)
+        ids.append(result.ids)
+        latencies.append(result.latency_us)
+    return recall_at_k(ids, ground_truth, k), float(np.mean(latencies))
+
+
+def tune_nprobe(
+    index,
+    queries: np.ndarray,
+    ground_truth: np.ndarray,
+    k: int = 10,
+    target_recall: float = 0.9,
+    max_nprobe: int | None = None,
+) -> TuneResult:
+    """Smallest nprobe whose validation recall reaches ``target_recall``.
+
+    If even ``max_nprobe`` misses the target, the result reports the best
+    achievable configuration with ``target_met=False`` rather than
+    raising — the operator decides whether to accept or re-index.
+    """
+    if not 0.0 < target_recall <= 1.0:
+        raise ValueError("target_recall must be in (0, 1]")
+    if len(queries) == 0:
+        raise ValueError("need at least one validation query")
+    ceiling = max_nprobe or max(index.num_postings, 1)
+    evaluations = 0
+
+    # Establish the feasible ceiling first.
+    recall_hi, latency_hi = _evaluate(index, queries, ground_truth, k, ceiling)
+    evaluations += 1
+    if recall_hi < target_recall:
+        return TuneResult(
+            nprobe=ceiling,
+            recall=recall_hi,
+            mean_latency_us=latency_hi,
+            target_met=False,
+            evaluations=evaluations,
+        )
+
+    lo, hi = 1, ceiling
+    best = (ceiling, recall_hi, latency_hi)
+    while lo < hi:
+        mid = (lo + hi) // 2
+        recall, latency = _evaluate(index, queries, ground_truth, k, mid)
+        evaluations += 1
+        if recall >= target_recall:
+            best = (mid, recall, latency)
+            hi = mid
+        else:
+            lo = mid + 1
+    return TuneResult(
+        nprobe=best[0],
+        recall=best[1],
+        mean_latency_us=best[2],
+        target_met=True,
+        evaluations=evaluations,
+    )

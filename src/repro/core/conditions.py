@@ -1,0 +1,60 @@
+"""The two NPA necessary conditions for reassignment (paper §3.3).
+
+After a split replaces old centroid ``A_o`` with new centroids ``A_1`` and
+``A_2``:
+
+* **Condition 1** (Eq. 1) — a vector ``v`` that ended up in one of the split
+  postings must be *considered* for reassignment iff the deleted centroid is
+  still at least as close as both new ones:
+  ``D(v, A_o) <= D(v, A_i) for all i``. Only then can a neighboring
+  centroid possibly beat the new ones.
+
+* **Condition 2** (Eq. 2) — a vector ``v`` in a nearby posting must be
+  considered iff some new centroid moved closer than the deleted one:
+  ``D(v, A_i) <= D(v, A_o) for some i``. Only then can a new posting beat
+  ``v``'s current one.
+
+Both are *necessary* (never miss a true violation) but not sufficient — the
+Local Rebuilder re-checks candidates against the full centroid index before
+actually moving anything, discarding false positives.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.distance import pairwise_sq_l2, sq_l2_batch
+
+
+def condition_one_mask(
+    vectors: np.ndarray, old_centroid: np.ndarray, new_centroids: np.ndarray
+) -> np.ndarray:
+    """Eq. 1 mask for vectors *inside* the split postings.
+
+    True where the deleted centroid is no farther than every new centroid.
+    """
+    if len(vectors) == 0:
+        return np.zeros(0, dtype=bool)
+    d_old = sq_l2_batch(old_centroid.astype(np.float32), np.asarray(vectors))
+    d_new = pairwise_sq_l2(
+        np.asarray(vectors, dtype=np.float32),
+        np.asarray(new_centroids, dtype=np.float32),
+    )
+    return d_old <= d_new.min(axis=1)
+
+
+def condition_two_mask(
+    vectors: np.ndarray, old_centroid: np.ndarray, new_centroids: np.ndarray
+) -> np.ndarray:
+    """Eq. 2 mask for vectors in *nearby* postings.
+
+    True where at least one new centroid is no farther than the deleted one.
+    """
+    if len(vectors) == 0:
+        return np.zeros(0, dtype=bool)
+    d_old = sq_l2_batch(old_centroid.astype(np.float32), np.asarray(vectors))
+    d_new = pairwise_sq_l2(
+        np.asarray(vectors, dtype=np.float32),
+        np.asarray(new_centroids, dtype=np.float32),
+    )
+    return d_new.min(axis=1) <= d_old

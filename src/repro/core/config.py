@@ -1,0 +1,129 @@
+"""Configuration for SPFresh and its SPANN substrate.
+
+Defaults are tuned for reproduction scale (10^4-10^5 vectors, postings of
+~100 entries) while keeping the same *ratios* the paper uses at billion
+scale: postings an order of magnitude larger than the merge threshold, a
+reassign range covering a local neighborhood of postings, and a handful of
+boundary replicas per vector.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.util.errors import ConfigError
+
+
+@dataclass
+class SPFreshConfig:
+    """All SPFresh/SPANN tunables in one place.
+
+    Feature flags (``enable_split`` / ``enable_merge`` / ``enable_reassign``)
+    implement the Figure-10 ablation lattice: all off is SPANN+ (append
+    only); split on is "+split"; split+reassign on is full SPFresh.
+    """
+
+    dim: int = 32
+
+    # --- posting geometry (SPANN §3.1, LIRE §3.2) ---
+    max_posting_size: int = 96  # split limit
+    min_posting_size: int = 6  # merge threshold
+    replica_count: int = 8  # boundary replicas per vector (SPANN uses 8)
+    closure_epsilon: float = 0.3  # replica rule: d <= (1+eps) * d_nearest
+    # SPANN also applies an RNG-style diversity rule; on clustered synthetic
+    # data it suppresses nearly all replication (our centroids are dense),
+    # so the build defaults to the pure distance-ratio rule, which lands at
+    # the paper's measured replica statistics (~5.5 replicas, 86% multi).
+    build_rng_rule: bool = False
+    insert_replicas: int = 1  # paper: Updater appends to the nearest posting
+    reassign_replicas: int = 8  # reassign re-applies the closure rule
+
+    # --- LIRE behaviour (§3.3, §5.5) ---
+    reassign_range: int = 16  # nearby postings checked after a split
+    enable_split: bool = True
+    enable_merge: bool = True
+    enable_reassign: bool = True
+    max_reassign_retries: int = 3  # posting-missing abort/re-execute bound
+
+    # --- search (§5.1 metrics) ---
+    default_nprobe: int = 8
+    search_latency_budget_us: float | None = 10_000.0  # paper's 10ms hard cut
+    # SPANN query-aware pruning: drop candidate postings farther than
+    # (1+eps) x the nearest centroid distance. None = probe all nprobe.
+    search_prune_epsilon: float | None = None
+    cpu_cost_per_entry_us: float = 0.02  # modelled scan cost per entry
+    cpu_cost_per_query_us: float = 30.0  # modelled centroid-navigation cost
+
+    # --- storage (§4.3) ---
+    block_size: int = 4096
+    ssd_blocks: int = 1 << 17  # 128Ki blocks = 512 MiB simulated device
+    read_latency_us: float = 90.0
+    write_latency_us: float = 20.0
+    queue_depth: int = 32
+
+    # --- static build (SPANN) ---
+    build_branch_factor: int = 8
+    # Leaf size of the hierarchical clustering, *before* boundary
+    # replication multiplies on-disk posting length by ~replica factor.
+    build_target_posting_size: int = 16
+    # Size-penalty weight for balanced clustering; 16 keeps even bimodal
+    # postings splitting ~50/50 (the SPANN balance goal) without visibly
+    # hurting centroid quality.
+    balance_weight: float = 16.0
+    kmeans_iters: int = 10
+
+    # --- background pipeline (§4.2) ---
+    background_workers: int = 2
+    synchronous_rebuild: bool = True  # run LIRE jobs inline (deterministic)
+
+    # --- misc ---
+    centroid_index_kind: str = "brute"  # or "graph" / "bkt" (SPTAG stand-ins)
+    seed: int = 0
+    wal_path: str | None = None
+    snapshot_dir: str | None = None
+    extras: dict = field(default_factory=dict)
+
+    def validate(self) -> "SPFreshConfig":
+        """Raise :class:`ConfigError` on inconsistent settings; return self."""
+        if self.dim <= 0:
+            raise ConfigError("dim must be positive")
+        if self.max_posting_size < 2:
+            raise ConfigError("max_posting_size must be at least 2")
+        if not 0 <= self.min_posting_size < self.max_posting_size:
+            raise ConfigError(
+                "min_posting_size must be in [0, max_posting_size)"
+            )
+        if self.replica_count < 1 or self.insert_replicas < 1:
+            raise ConfigError("replica counts must be at least 1")
+        if self.reassign_replicas < 1:
+            raise ConfigError("reassign_replicas must be at least 1")
+        if self.closure_epsilon < 0:
+            raise ConfigError("closure_epsilon must be non-negative")
+        if self.reassign_range < 0:
+            raise ConfigError("reassign_range must be non-negative")
+        if self.build_target_posting_size > self.max_posting_size:
+            raise ConfigError(
+                "build_target_posting_size must not exceed max_posting_size"
+            )
+        if self.default_nprobe < 1:
+            raise ConfigError("default_nprobe must be at least 1")
+        if self.background_workers < 1:
+            raise ConfigError("background_workers must be at least 1")
+        if self.centroid_index_kind not in ("brute", "graph", "bkt"):
+            raise ConfigError(
+                f"unknown centroid_index_kind {self.centroid_index_kind!r}"
+            )
+        if self.enable_reassign and not self.enable_split:
+            raise ConfigError("enable_reassign requires enable_split")
+        return self
+
+    def with_overrides(self, **kwargs) -> "SPFreshConfig":
+        """Functional update used heavily by the ablation benches."""
+        return replace(self, **kwargs).validate()
+
+    @classmethod
+    def spann_plus(cls, **kwargs) -> "SPFreshConfig":
+        """Preset for the SPANN+ baseline: append-only, no Local Rebuilder."""
+        base = dict(enable_split=False, enable_merge=False, enable_reassign=False)
+        base.update(kwargs)
+        return cls(**base).validate()

@@ -1,0 +1,35 @@
+"""Monotonic id allocation for postings (and anything else that needs it)."""
+
+from __future__ import annotations
+
+import threading
+
+
+class IdAllocator:
+    """Thread-safe monotonically increasing integer allocator.
+
+    Posting ids are never reused: a split deletes the old posting id and
+    allocates two fresh ones, which is what makes concurrent readers able
+    to detect "posting vanished" (StalePostingError) instead of silently
+    reading unrelated data.
+    """
+
+    def __init__(self, start: int = 0) -> None:
+        self._lock = threading.Lock()
+        self._next = start
+
+    def next(self) -> int:
+        with self._lock:
+            value = self._next
+            self._next += 1
+            return value
+
+    def peek(self) -> int:
+        with self._lock:
+            return self._next
+
+    def advance_to(self, value: int) -> None:
+        """Ensure future allocations start at or beyond ``value``."""
+        with self._lock:
+            if value > self._next:
+                self._next = value

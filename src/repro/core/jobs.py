@@ -1,0 +1,150 @@
+"""Job types and queue for the Local Rebuilder pipeline (paper §4.2).
+
+The foreground Updater produces jobs; background rebuild threads consume
+them. Jobs carry everything needed to execute without re-reading foreground
+state, except data that must be re-validated at execution time (posting
+contents, vector versions) — re-validation is what makes the pipeline safe
+under concurrency.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class SplitJob:
+    """Garbage-collect and, if still oversized, split a posting."""
+
+    posting_id: int
+    cascade_depth: int = 0
+
+
+@dataclass(frozen=True)
+class MergeJob:
+    """Merge an undersized posting into its nearest neighbor."""
+
+    posting_id: int
+
+
+@dataclass(frozen=True)
+class ReassignJob:
+    """Re-evaluate one vector's posting assignment.
+
+    ``expected_version`` is the version observed when the candidate was
+    collected; the CAS against the version map aborts the job if the vector
+    was concurrently reassigned or deleted.
+    """
+
+    vector_id: int
+    vector: np.ndarray
+    expected_version: int
+    source_posting: int
+    attempts: int = 0
+
+
+RebuildJob = object  # union alias for documentation purposes
+
+
+class JobQueue:
+    """FIFO of rebuild jobs with pending-count tracking.
+
+    ``task_done``/``join`` semantics follow :class:`queue.Queue` so the
+    synchronous driver can wait for full drain including cascades.
+    """
+
+    def __init__(self) -> None:
+        self._queue: "queue.Queue[object]" = queue.Queue()
+        self._pending_splits: set[int] = set()
+        self._split_lock = threading.Lock()
+
+    def put(self, job: object) -> None:
+        if isinstance(job, SplitJob):
+            # Bulk appends enqueue one split request per append; only one
+            # pending split per posting is ever useful (the job re-reads
+            # the posting and handles all accumulated growth at once).
+            with self._split_lock:
+                if job.posting_id in self._pending_splits:
+                    return
+                self._pending_splits.add(job.posting_id)
+        self._queue.put(job)
+
+    def get(self, timeout: float | None = None) -> object:
+        job = (
+            self._queue.get(timeout=timeout) if timeout else self._queue.get_nowait()
+        )
+        if isinstance(job, SplitJob):
+            # Clear the dedup marker at dequeue time: appends landing while
+            # the split runs must be able to schedule a fresh job.
+            with self._split_lock:
+                self._pending_splits.discard(job.posting_id)
+        return job
+
+    def task_done(self) -> None:
+        self._queue.task_done()
+
+    def join(self) -> None:
+        self._queue.join()
+
+    @property
+    def pending(self) -> int:
+        return self._queue.qsize()
+
+    def empty(self) -> bool:
+        return self._queue.empty()
+
+
+class PostingLockManager:
+    """Fine-grained posting-level write locks (paper §4.2.2).
+
+    Append, split, and merge serialize per posting; reads stay lock-free.
+    ``hold`` acquires multiple locks in sorted id order to avoid deadlock
+    between concurrent merges touching overlapping postings.
+    """
+
+    def __init__(self) -> None:
+        self._meta = threading.Lock()
+        self._locks: dict[int, threading.RLock] = {}
+        self.contention_checks = 0
+        self.contention_hits = 0
+
+    def _lock_for(self, posting_id: int) -> threading.RLock:
+        with self._meta:
+            lock = self._locks.get(posting_id)
+            if lock is None:
+                lock = threading.RLock()
+                self._locks[posting_id] = lock
+            return lock
+
+    @contextmanager
+    def hold(self, *posting_ids: int):
+        ordered = sorted(set(posting_ids))
+        locks = [self._lock_for(pid) for pid in ordered]
+        acquired: list[threading.RLock] = []
+        try:
+            for lock in locks:
+                self.contention_checks += 1
+                if not lock.acquire(blocking=False):
+                    self.contention_hits += 1
+                    lock.acquire()
+                acquired.append(lock)
+            yield
+        finally:
+            for lock in reversed(acquired):
+                lock.release()
+
+    def forget(self, posting_id: int) -> None:
+        """Drop the lock object of a deleted posting (bounds memory)."""
+        with self._meta:
+            self._locks.pop(posting_id, None)
+
+    @property
+    def contention_rate(self) -> float:
+        if self.contention_checks == 0:
+            return 0.0
+        return self.contention_hits / self.contention_checks

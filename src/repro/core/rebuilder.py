@@ -1,0 +1,393 @@
+"""Background Local Rebuilder: split, merge, reassign (paper §4.2).
+
+The rebuilder consumes jobs from the shared queue and executes the three
+internal LIRE operators with posting-level locking and version-map CAS:
+
+* **split** — GC the oversized posting; if still oversized, run balanced
+  2-means, install the two new postings + centroids, drop the old one, and
+  collect reassign candidates via the two necessary conditions (§3.3);
+* **merge** — fold an undersized posting into its nearest neighbor and
+  reassign the moved vectors (no neighbor-range check needed, §4.2.1);
+* **reassign** — re-validate one vector's assignment: search its true
+  nearest posting, discard false positives (NPA check), CAS-bump its
+  version, and append the fresh copy; all stale replicas die by version.
+
+Jobs can run inline (synchronous mode, deterministic — the default for
+tests) or on background worker threads (the paper's two-stage pipeline).
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+
+import numpy as np
+
+from repro.centroids.base import CentroidIndex
+from repro.clustering.balanced import split_in_two
+from repro.core.conditions import condition_one_mask, condition_two_mask
+from repro.core.config import SPFreshConfig
+from repro.core.ids import IdAllocator
+from repro.core.jobs import (
+    JobQueue,
+    MergeJob,
+    PostingLockManager,
+    ReassignJob,
+    SplitJob,
+)
+from repro.core.stats import LireStats
+from repro.core.version_map import VersionMap
+from repro.spann.closure import select_replicas
+from repro.spann.postings import live_view
+from repro.storage.controller import BlockController
+from repro.storage.layout import PostingData
+from repro.util.errors import IndexError_, StalePostingError
+
+
+class LocalRebuilder:
+    """Executes LIRE's internal operators off the update critical path."""
+
+    def __init__(
+        self,
+        centroid_index: CentroidIndex,
+        controller: BlockController,
+        version_map: VersionMap,
+        locks: PostingLockManager,
+        job_queue: JobQueue,
+        stats: LireStats,
+        config: SPFreshConfig,
+        posting_ids: IdAllocator,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        self.centroid_index = centroid_index
+        self.controller = controller
+        self.version_map = version_map
+        self.locks = locks
+        self.job_queue = job_queue
+        self.stats = stats
+        self.config = config
+        self.posting_ids = posting_ids
+        self.rng = rng or np.random.default_rng(config.seed + 1)
+        self.background_io_us = 0.0  # simulated device time spent by rebuilds
+        self.io_by_job = {"split": 0.0, "merge": 0.0, "reassign": 0.0, "other": 0.0}
+        self._current_job_kind = "other"
+        self._workers: list[threading.Thread] = []
+        self._stop = threading.Event()
+
+    # ------------------------------------------------------------------
+    # job dispatch
+    # ------------------------------------------------------------------
+    def process(self, job: object) -> None:
+        before = self.background_io_us
+        if isinstance(job, SplitJob):
+            self._current_job_kind = "split"
+            self._run_split(job)
+        elif isinstance(job, MergeJob):
+            self._current_job_kind = "merge"
+            self._run_merge(job)
+        elif isinstance(job, ReassignJob):
+            self._current_job_kind = "reassign"
+            self._run_reassign(job)
+        else:
+            raise IndexError_(f"unknown rebuild job type: {type(job).__name__}")
+        self.io_by_job[self._current_job_kind] += self.background_io_us - before
+        self._current_job_kind = "other"
+
+    def drain(self, max_jobs: int | None = None) -> int:
+        """Synchronously run queued jobs (and their cascades) to exhaustion.
+
+        Returns the number of jobs executed. ``max_jobs`` bounds runaway
+        cascades in adversarial tests; normal operation always converges
+        (paper §3.4) because every split grows the centroid set by one.
+        """
+        executed = 0
+        while max_jobs is None or executed < max_jobs:
+            try:
+                job = self.job_queue.get()
+            except queue.Empty:
+                break
+            try:
+                self.process(job)
+            finally:
+                self.job_queue.task_done()
+            executed += 1
+        return executed
+
+    # ------------------------------------------------------------------
+    # background workers
+    # ------------------------------------------------------------------
+    def start(self, num_workers: int | None = None) -> None:
+        """Spawn background worker threads (paper's pipeline stage two)."""
+        if self._workers:
+            return
+        self._stop.clear()
+        count = num_workers or self.config.background_workers
+        for i in range(count):
+            worker = threading.Thread(
+                target=self._worker_loop, name=f"local-rebuilder-{i}", daemon=True
+            )
+            worker.start()
+            self._workers.append(worker)
+
+    def stop(self) -> None:
+        self._stop.set()
+        for worker in self._workers:
+            worker.join()
+        self._workers.clear()
+
+    def wait_idle(self) -> None:
+        """Block until every queued job (and cascades) has completed."""
+        self.job_queue.join()
+
+    def _worker_loop(self) -> None:
+        while not self._stop.is_set():
+            try:
+                job = self.job_queue.get(timeout=0.02)
+            except queue.Empty:
+                continue
+            try:
+                self.process(job)
+            finally:
+                self.job_queue.task_done()
+
+    # ------------------------------------------------------------------
+    # split
+    # ------------------------------------------------------------------
+    def _run_split(self, job: SplitJob) -> None:
+        pid = job.posting_id
+        self.stats.incr("split_jobs")
+        reassign_context = None
+        with self.locks.hold(pid):
+            if not self.controller.exists(pid) or pid not in self.centroid_index:
+                return  # raced with another split/merge; nothing to do
+            data, io_us = self.controller.get(pid)
+            self.background_io_us += io_us
+            live = live_view(data, self.version_map)
+            if len(live) <= self.config.max_posting_size:
+                # Garbage collection alone fixed the length (paper §4.2.1).
+                if len(live) < len(data):
+                    self.background_io_us += self.controller.put(pid, live)
+                    self.stats.incr("gc_writebacks")
+                return
+            old_centroid = self.centroid_index.get(pid)
+            new_centroids, assignments = split_in_two(
+                live.vectors,
+                self.rng,
+                balance_weight=self.config.balance_weight,
+            )
+            parts = [live.select(assignments == j) for j in (0, 1)]
+            new_pids = [self.posting_ids.next(), self.posting_ids.next()]
+            for new_pid, part in zip(new_pids, parts):
+                self.background_io_us += self.controller.create(new_pid, part)
+            for new_pid, centroid in zip(new_pids, new_centroids):
+                self.centroid_index.add(new_pid, centroid)
+            self.centroid_index.remove(pid)
+            self.controller.delete(pid)
+            reassign_context = (old_centroid, new_centroids, new_pids, parts)
+        self.locks.forget(pid)
+        self.stats.incr("splits")
+        self.stats.observe_cascade_depth(job.cascade_depth + 1)
+        if reassign_context is not None:
+            # A GC'd posting can still be far over the limit (bulk appends
+            # before the job ran, or a replica-heavy build); halves that
+            # remain oversized cascade into further splits.
+            _, _, new_pids, parts = reassign_context
+            for new_pid, part in zip(new_pids, parts):
+                if len(part) > self.config.max_posting_size:
+                    self.job_queue.put(
+                        SplitJob(
+                            posting_id=new_pid,
+                            cascade_depth=job.cascade_depth + 1,
+                        )
+                    )
+        if self.config.enable_reassign and reassign_context is not None:
+            self._collect_split_reassigns(*reassign_context, job.cascade_depth)
+
+    def _collect_split_reassigns(
+        self,
+        old_centroid: np.ndarray,
+        new_centroids: np.ndarray,
+        new_pids: list[int],
+        parts: list[PostingData],
+        cascade_depth: int,
+    ) -> None:
+        """Apply the two necessary conditions to find reassign candidates."""
+        # Condition 1: vectors inside the split postings (Eq. 1).
+        for new_pid, part in zip(new_pids, parts):
+            if len(part) == 0:
+                continue
+            self.stats.incr("reassign_evaluated", len(part))
+            mask = condition_one_mask(part.vectors, old_centroid, new_centroids)
+            self._schedule_reassigns(part, mask, new_pid)
+        # Condition 2: vectors in nearby postings (Eq. 2).
+        if self.config.reassign_range <= 0:
+            return
+        hits = self.centroid_index.search(
+            old_centroid, self.config.reassign_range + len(new_pids)
+        )
+        neighbor_pids = [
+            int(p) for p in hits.posting_ids if int(p) not in new_pids
+        ][: self.config.reassign_range]
+        if not neighbor_pids:
+            return
+        postings, io_us = self.controller.parallel_get(neighbor_pids)
+        self.background_io_us += io_us
+        for neighbor_pid, data in postings.items():
+            live = live_view(data, self.version_map)
+            if len(live) == 0:
+                continue
+            self.stats.incr("reassign_evaluated", len(live))
+            mask = condition_two_mask(live.vectors, old_centroid, new_centroids)
+            self._schedule_reassigns(live, mask, neighbor_pid)
+
+    def _schedule_reassigns(
+        self, data: PostingData, mask: np.ndarray, source_posting: int
+    ) -> None:
+        for row in np.nonzero(mask)[0]:
+            vid = int(data.ids[row])
+            version = self.version_map.current_version(vid)
+            if version < 0 or self.version_map.is_deleted(vid):
+                continue
+            if version != int(data.versions[row]):
+                continue  # stale replica; the live copy is elsewhere
+            self.stats.incr("reassign_scheduled")
+            self.job_queue.put(
+                ReassignJob(
+                    vector_id=vid,
+                    vector=data.vectors[row].copy(),
+                    expected_version=version,
+                    source_posting=source_posting,
+                )
+            )
+
+    # ------------------------------------------------------------------
+    # merge
+    # ------------------------------------------------------------------
+    def _run_merge(self, job: MergeJob) -> None:
+        pid = job.posting_id
+        self.stats.incr("merge_jobs")
+        target = self._pick_merge_target(pid)
+        if target is None:
+            return
+        moved: PostingData | None = None
+        with self.locks.hold(pid, target):
+            if not (self.controller.exists(pid) and self.controller.exists(target)):
+                return
+            if pid not in self.centroid_index or target not in self.centroid_index:
+                return
+            data, io_us = self.controller.get(pid)
+            self.background_io_us += io_us
+            live = live_view(data, self.version_map)
+            if len(live) >= self.config.min_posting_size:
+                return  # grew back; merge no longer needed
+            if len(live) > 0:
+                self.background_io_us += self.controller.append(target, live)
+            self.controller.delete(pid)
+            self.centroid_index.remove(pid)
+            moved = live
+            target_len = self.controller.length(target)
+        self.locks.forget(pid)
+        self.stats.incr("merges")
+        if self.config.enable_split and target_len > self.config.max_posting_size:
+            self.job_queue.put(SplitJob(posting_id=target))
+        if self.config.enable_reassign and moved is not None and len(moved) > 0:
+            # The deleted centroid may break NPA for the moved vectors only
+            # (paper §3.3: merged postings need no neighbor check).
+            self.stats.incr("reassign_evaluated", len(moved))
+            mask = np.ones(len(moved), dtype=bool)
+            self._schedule_reassigns(moved, mask, target)
+
+    def _pick_merge_target(self, pid: int) -> int | None:
+        """Nearest other posting, by centroid distance."""
+        if pid not in self.centroid_index:
+            return None
+        try:
+            centroid = self.centroid_index.get(pid)
+        except IndexError_:
+            return None
+        hits = self.centroid_index.search(centroid, 4)
+        for candidate in hits.posting_ids:
+            if int(candidate) != pid:
+                return int(candidate)
+        return None
+
+    # ------------------------------------------------------------------
+    # reassign
+    # ------------------------------------------------------------------
+    def _run_reassign(self, job: ReassignJob) -> None:
+        vid = job.vector_id
+        if (
+            self.version_map.is_deleted(vid)
+            or self.version_map.current_version(vid) != job.expected_version
+        ):
+            self.stats.incr("reassign_aborted_version")
+            return
+        hits = self.centroid_index.search(
+            job.vector, max(self.config.reassign_replicas * 2, 4)
+        )
+        if len(hits) == 0:
+            return
+        if hits.nearest == job.source_posting:
+            # False positive: the vector already sits in its nearest posting.
+            self.stats.incr("reassign_aborted_npa")
+            return
+        # Re-apply the build's closure rule (pure distance ratio — see
+        # SPFreshConfig.build_rng_rule) so a reassigned vector keeps the
+        # same boundary-replica structure it had before the move.
+        targets = select_replicas(
+            hits.posting_ids,
+            hits.distances,
+            self.config.reassign_replicas,
+            self.config.closure_epsilon,
+        )
+        new_version = self.version_map.cas_bump(vid, job.expected_version)
+        if new_version is None:
+            self.stats.incr("reassign_aborted_version")
+            return
+        entry_versions = [new_version]
+        placed = self._append_entry(vid, entry_versions[0], job.vector, targets)
+        if not placed:
+            # Every target vanished mid-flight (posting-missing): re-route
+            # with a fresh centroid search until a copy lands.
+            for _ in range(self.config.max_reassign_retries):
+                self.stats.incr("reassign_posting_missing")
+                hits = self.centroid_index.search(job.vector, 4)
+                if len(hits) == 0:
+                    break
+                placed = self._append_entry(
+                    vid, entry_versions[0], job.vector, [hits.nearest]
+                )
+                if placed:
+                    break
+        if not placed:
+            raise IndexError_(
+                f"reassign of vector {vid} could not place a copy anywhere"
+            )
+        self.stats.incr("reassign_executed")
+
+    def _centroid_or_none(self, pid: int):
+        try:
+            return self.centroid_index.get(pid)
+        except IndexError_:
+            return None
+
+    def _append_entry(
+        self, vid: int, version: int, vector: np.ndarray, targets: list[int]
+    ) -> bool:
+        """Append one entry to each target posting; True if any append landed."""
+        entry = PostingData.from_rows([vid], [version], vector)
+        placed = False
+        for pid in targets:
+            try:
+                with self.locks.hold(pid):
+                    if not self.controller.exists(pid):
+                        raise StalePostingError(f"posting {pid} vanished")
+                    self.background_io_us += self.controller.append(pid, entry)
+                    length = self.controller.length(pid)
+                placed = True
+            except StalePostingError:
+                self.stats.incr("reassign_posting_missing")
+                continue
+            if self.config.enable_split and length > self.config.max_posting_size:
+                self.job_queue.put(SplitJob(posting_id=pid, cascade_depth=1))
+        return placed

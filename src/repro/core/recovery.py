@@ -1,0 +1,98 @@
+"""Crash recovery: snapshot assembly and restore + WAL replay (paper §4.4).
+
+A snapshot captures every in-memory structure: the centroid index, the
+version map, the block mapping + free pool, and the posting-id allocator
+cursor. Disk blocks referenced by the snapshot survive by construction —
+the Block Controller defers releases between checkpoints — so restoring
+the mapping makes the old posting contents readable again, and replaying
+the WAL brings the index forward to the crash point.
+"""
+
+from __future__ import annotations
+
+from repro.centroids import make_centroid_index
+from repro.core.config import SPFreshConfig
+from repro.core.ids import IdAllocator
+from repro.core.version_map import VersionMap
+from repro.storage.snapshot import SnapshotManager
+from repro.storage.ssd import SimulatedSSD
+from repro.storage.wal import WriteAheadLog
+from repro.util.errors import RecoveryError
+
+
+def collect_state(index) -> dict:
+    """Gather a serializable snapshot of an index's in-memory state."""
+    return {
+        "config_dim": index.config.dim,
+        "controller": index.controller.state_dict(),
+        "centroids": index.centroid_index.state_dict(),
+        "version_map": index.version_map.state_dict(),
+        "next_posting_id": index.posting_ids.peek(),
+    }
+
+
+def restore_index(
+    index_cls,
+    ssd: SimulatedSSD,
+    config: SPFreshConfig,
+    snapshots: SnapshotManager,
+    wal: WriteAheadLog | None = None,
+):
+    """Rebuild an index object from snapshot + WAL on a surviving device."""
+    from repro.storage.controller import BlockController
+    from repro.storage.layout import PostingCodec
+
+    state = snapshots.load()
+    if state is None:
+        raise RecoveryError("no snapshot available to recover from")
+    if state["config_dim"] != config.dim:
+        raise RecoveryError(
+            f"snapshot dim {state['config_dim']} != config dim {config.dim}"
+        )
+
+    codec = PostingCodec(config.dim, config.block_size)
+    controller = BlockController(ssd, codec)
+    controller.load_state_dict(state["controller"])
+
+    centroid_index = make_centroid_index(config.centroid_index_kind, config.dim)
+    centroid_index.load_state_dict(state["centroids"])
+
+    version_map = VersionMap()
+    version_map.load_state_dict(state["version_map"])
+
+    index = index_cls(
+        config=config,
+        ssd=ssd,
+        controller=controller,
+        centroid_index=centroid_index,
+        version_map=version_map,
+        posting_ids=IdAllocator(int(state["next_posting_id"])),
+        wal=wal,
+        snapshots=snapshots,
+    )
+    controller.begin_defer_release()  # recovery always has snapshots
+
+    if wal is not None:
+        _replay_wal(index, wal)
+    return index
+
+
+def _replay_wal(index, wal: WriteAheadLog) -> None:
+    """Re-apply logged updates on top of the restored snapshot.
+
+    Replay calls the normal Updater paths with logging disabled so a
+    recovery does not re-log its own replay. Inserts of ids the snapshot
+    already saw live are skipped (they were logged before the snapshot
+    landed but the snapshot includes them — possible because checkpoint
+    truncates the WAL *after* persisting).
+    """
+    for record in list(wal.replay()):
+        if record.is_insert:
+            if index.version_map.is_registered(
+                record.vector_id
+            ) and not index.version_map.is_deleted(record.vector_id):
+                continue
+            index.updater.insert(record.vector_id, record.vector, log=False)
+        else:
+            index.updater.delete(record.vector_id, log=False)
+    index.drain()

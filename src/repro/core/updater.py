@@ -1,0 +1,130 @@
+"""Foreground in-place Updater (paper §4.1).
+
+The Updater is the write front-end of the feed-forward pipeline: it
+appends a new vector to the tail of its nearest posting(s), maintains the
+version map for deletes, and hands oversized postings to the Local
+Rebuilder as split jobs. It never splits, merges, or reassigns itself —
+that work is off the critical path by design.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.centroids.base import CentroidIndex
+from repro.core.config import SPFreshConfig
+from repro.core.ids import IdAllocator
+from repro.core.jobs import JobQueue, PostingLockManager, SplitJob
+from repro.core.stats import LireStats
+from repro.core.version_map import VersionMap
+from repro.spann.closure import select_replicas
+from repro.storage.controller import BlockController
+from repro.storage.layout import PostingData
+from repro.storage.wal import WriteAheadLog
+from repro.util.distance import as_vector
+from repro.util.errors import IndexError_, StalePostingError
+
+
+class Updater:
+    """Serves Insert and Delete, producing split jobs for the rebuilder."""
+
+    def __init__(
+        self,
+        centroid_index: CentroidIndex,
+        controller: BlockController,
+        version_map: VersionMap,
+        locks: PostingLockManager,
+        job_queue: JobQueue,
+        stats: LireStats,
+        config: SPFreshConfig,
+        posting_ids: IdAllocator,
+        wal: WriteAheadLog | None = None,
+    ) -> None:
+        self.centroid_index = centroid_index
+        self.controller = controller
+        self.version_map = version_map
+        self.locks = locks
+        self.job_queue = job_queue
+        self.stats = stats
+        self.config = config
+        self.posting_ids = posting_ids
+        self.wal = wal
+
+    # ------------------------------------------------------------------
+    def insert(self, vector_id: int, vector: np.ndarray, log: bool = True) -> float:
+        """Insert a vector; returns the simulated foreground latency (us).
+
+        The vector is appended to its nearest posting (plus boundary
+        replicas when ``insert_replicas > 1``). A posting deleted by a
+        concurrent split triggers a re-route rather than a failure.
+        """
+        vector = as_vector(vector, self.config.dim)
+        if log and self.wal is not None:
+            self.wal.log_insert(vector_id, vector)
+        version = self.version_map.register(vector_id)
+        latency = self.config.cpu_cost_per_query_us  # centroid navigation
+        entry = PostingData.from_rows([vector_id], [version], vector)
+
+        for _ in range(1 + self.config.max_reassign_retries):
+            targets = self._route(vector)
+            if not targets:
+                latency += self._bootstrap_posting(vector, entry)
+                self.stats.incr("inserts")
+                return latency
+            placed = 0
+            for pid in targets:
+                try:
+                    latency += self._append_to(pid, entry)
+                    placed += 1
+                except StalePostingError:
+                    self.stats.incr("reassign_posting_missing")
+            if placed:
+                self.stats.incr("inserts")
+                self.stats.incr("appends", placed)
+                return latency
+        raise IndexError_(
+            f"insert of vector {vector_id} kept racing with posting splits"
+        )
+
+    def delete(self, vector_id: int, log: bool = True) -> float:
+        """Tombstone a vector; actual removal happens lazily during GC."""
+        if log and self.wal is not None:
+            self.wal.log_delete(vector_id)
+        if self.version_map.delete(vector_id):
+            self.stats.incr("deletes")
+        # Tombstones touch only the in-memory map: negligible latency.
+        return 1.0
+
+    # ------------------------------------------------------------------
+    def _route(self, vector: np.ndarray) -> list[int]:
+        """Nearest posting(s) for an insert, honoring the replica rule."""
+        want = max(self.config.insert_replicas * 2, 4)
+        hits = self.centroid_index.search(vector, want)
+        if len(hits) == 0:
+            return []
+        if self.config.insert_replicas == 1:
+            return [hits.nearest]
+        return select_replicas(
+            hits.posting_ids,
+            hits.distances,
+            self.config.insert_replicas,
+            self.config.closure_epsilon,
+        )
+
+    def _append_to(self, posting_id: int, entry: PostingData) -> float:
+        """Append under the posting write lock; maybe schedule a split."""
+        with self.locks.hold(posting_id):
+            if not self.controller.exists(posting_id):
+                raise StalePostingError(f"posting {posting_id} vanished")
+            latency = self.controller.append(posting_id, entry)
+            length = self.controller.length(posting_id)
+        if self.config.enable_split and length > self.config.max_posting_size:
+            self.job_queue.put(SplitJob(posting_id=posting_id))
+        return latency
+
+    def _bootstrap_posting(self, vector: np.ndarray, entry: PostingData) -> float:
+        """First insert into an empty index creates the first posting."""
+        pid = self.posting_ids.next()
+        latency = self.controller.create(pid, entry)
+        self.centroid_index.add(pid, vector)
+        return latency

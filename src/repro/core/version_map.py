@@ -1,0 +1,187 @@
+"""Global in-memory version map (paper §4.1, §4.2.1).
+
+One byte per vector: seven bits of reassign version plus one deletion bit.
+The map answers three questions cheaply:
+
+* is this on-disk replica *stale* (its stored version != current)?
+* is this vector deleted (tombstone)?
+* can this reassign proceed (compare-and-swap on the version bits)?
+
+Vector ids index a dense array that doubles on demand, mirroring the
+paper's dense in-memory layout (1 byte/vector → ~1 GB per billion vectors).
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+from repro.util.errors import IndexError_
+
+VERSION_MASK = 0x7F  # low 7 bits: reassign version
+DELETED_BIT = 0x80  # high bit: tombstone
+
+_UNREGISTERED = np.uint8(0xFF)  # sentinel: id never registered
+# 0xFF has the deleted bit set and version 0x7F; registration always writes
+# a value with version < 0x7F semantics intact, so the sentinel is safe to
+# distinguish "never seen" from "deleted".
+
+
+class VersionMap:
+    """Dense vector-id → version byte map with CAS semantics."""
+
+    def __init__(self, initial_capacity: int = 1024) -> None:
+        if initial_capacity < 1:
+            initial_capacity = 1
+        self._lock = threading.RLock()
+        self._bytes = np.full(initial_capacity, _UNREGISTERED, dtype=np.uint8)
+        self._registered = 0
+        self._deleted = 0
+
+    # ------------------------------------------------------------------
+    # capacity / registration
+    # ------------------------------------------------------------------
+    def _ensure_capacity(self, vector_id: int) -> None:
+        if vector_id < len(self._bytes):
+            return
+        new_cap = len(self._bytes)
+        while new_cap <= vector_id:
+            new_cap *= 2
+        grown = np.full(new_cap, _UNREGISTERED, dtype=np.uint8)
+        grown[: len(self._bytes)] = self._bytes
+        self._bytes = grown
+
+    def register(self, vector_id: int) -> int:
+        """Register a new (or re-inserted) vector; returns its version (0).
+
+        Re-registering a deleted id resurrects it with version 0, matching
+        an insert of a fresh vector reusing the id.
+        """
+        if vector_id < 0:
+            raise IndexError_("vector ids must be non-negative")
+        with self._lock:
+            self._ensure_capacity(vector_id)
+            current = int(self._bytes[vector_id])
+            if current == int(_UNREGISTERED):
+                self._registered += 1
+            elif not current & DELETED_BIT:
+                raise IndexError_(f"vector {vector_id} is already live")
+            else:
+                self._deleted -= 1
+            self._bytes[vector_id] = 0
+            return 0
+
+    def is_registered(self, vector_id: int) -> bool:
+        with self._lock:
+            return (
+                0 <= vector_id < len(self._bytes)
+                and self._bytes[vector_id] != _UNREGISTERED
+            )
+
+    # ------------------------------------------------------------------
+    # tombstones
+    # ------------------------------------------------------------------
+    def delete(self, vector_id: int) -> bool:
+        """Set the tombstone bit; returns False if already deleted/unknown."""
+        with self._lock:
+            if not self.is_registered(vector_id):
+                return False
+            current = int(self._bytes[vector_id])
+            if current & DELETED_BIT:
+                return False
+            self._bytes[vector_id] = np.uint8(current | DELETED_BIT)
+            self._deleted += 1
+            return True
+
+    def is_deleted(self, vector_id: int) -> bool:
+        with self._lock:
+            if not self.is_registered(vector_id):
+                return True
+            return bool(int(self._bytes[vector_id]) & DELETED_BIT)
+
+    # ------------------------------------------------------------------
+    # versions
+    # ------------------------------------------------------------------
+    def current_version(self, vector_id: int) -> int:
+        """Current 7-bit version, or -1 for unknown/unregistered ids."""
+        with self._lock:
+            if not self.is_registered(vector_id):
+                return -1
+            return int(self._bytes[vector_id]) & VERSION_MASK
+
+    def cas_bump(self, vector_id: int, expected_version: int) -> int | None:
+        """Atomically bump the version if it still equals ``expected``.
+
+        Returns the new version on success, None on conflict (another
+        reassign won the race, or the vector was deleted). This is the CAS
+        the Local Rebuilder uses to serialize concurrent reassigns (§4.2.2).
+        """
+        with self._lock:
+            if not self.is_registered(vector_id):
+                return None
+            current = int(self._bytes[vector_id])
+            if current & DELETED_BIT:
+                return None
+            if (current & VERSION_MASK) != expected_version:
+                return None
+            new_version = (expected_version + 1) & VERSION_MASK
+            if new_version == VERSION_MASK:
+                # Skip 0x7F: a deleted vector at that version would collide
+                # with the 0xFF "unregistered" sentinel. Versions therefore
+                # cycle through 127 values instead of 128.
+                new_version = 0
+            self._bytes[vector_id] = np.uint8(new_version)
+            return new_version
+
+    # ------------------------------------------------------------------
+    # batch filtering (search / GC hot path)
+    # ------------------------------------------------------------------
+    def live_mask(self, ids: np.ndarray, versions: np.ndarray) -> np.ndarray:
+        """Vectorized: which on-disk entries are live (fresh and undeleted)?
+
+        ``ids``/``versions`` come straight from decoded posting data. An
+        entry is live iff the id is registered, undeleted, and its stored
+        version equals the current version.
+        """
+        ids = np.asarray(ids, dtype=np.int64)
+        versions = np.asarray(versions, dtype=np.uint8)
+        with self._lock:
+            in_range = (ids >= 0) & (ids < len(self._bytes))
+            current = np.full(len(ids), int(_UNREGISTERED), dtype=np.uint8)
+            current[in_range] = self._bytes[ids[in_range]]
+            known = current != _UNREGISTERED
+            undeleted = (current & DELETED_BIT) == 0
+            fresh = (current & VERSION_MASK) == (versions & VERSION_MASK)
+            return known & undeleted & fresh
+
+    # ------------------------------------------------------------------
+    # accounting / snapshots
+    # ------------------------------------------------------------------
+    @property
+    def live_count(self) -> int:
+        with self._lock:
+            return self._registered - self._deleted
+
+    @property
+    def deleted_count(self) -> int:
+        with self._lock:
+            return self._deleted
+
+    def memory_bytes(self) -> int:
+        with self._lock:
+            return int(self._bytes.nbytes)
+
+    def state_dict(self) -> dict:
+        with self._lock:
+            return {
+                "bytes": self._bytes.copy(),
+                "registered": self._registered,
+                "deleted": self._deleted,
+            }
+
+    def load_state_dict(self, state: dict) -> None:
+        with self._lock:
+            self._bytes = np.asarray(state["bytes"], dtype=np.uint8).copy()
+            self._registered = int(state["registered"])
+            self._deleted = int(state["deleted"])

@@ -1,0 +1,38 @@
+"""Synthetic datasets and update workloads (substitutes for SIFT1B/SPACEV1B).
+
+The paper's workloads are characterised by two regimes: SIFT is "almost
+uniformly distributed" while SPACEV's "data distribution shifts over time"
+(Figure 7 caption). The generators here expose exactly those regimes —
+cluster-mass skew and a drift knob — at laptop scale.
+"""
+
+from repro.datasets.synthetic import (
+    ClusteredDataset,
+    make_sift_like,
+    make_spacev_like,
+)
+from repro.datasets.groundtruth import GroundTruthTracker, exact_knn
+from repro.datasets.workloads import (
+    UpdateEpoch,
+    Workload,
+    make_workload,
+    workload_a,
+    workload_b,
+    workload_c,
+    workload_d,
+)
+
+__all__ = [
+    "ClusteredDataset",
+    "make_sift_like",
+    "make_spacev_like",
+    "GroundTruthTracker",
+    "exact_knn",
+    "UpdateEpoch",
+    "Workload",
+    "make_workload",
+    "workload_a",
+    "workload_b",
+    "workload_c",
+    "workload_d",
+]

@@ -1,0 +1,87 @@
+"""Exact k-NN ground truth, static and under streaming updates.
+
+Recall can only be measured against the *current* live set, which changes
+every epoch in the update workloads; :class:`GroundTruthTracker` maintains
+that live set and recomputes exact answers on demand.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.distance import pairwise_sq_l2
+
+
+def exact_knn(
+    base_vectors: np.ndarray,
+    base_ids: np.ndarray,
+    queries: np.ndarray,
+    k: int,
+    chunk_size: int = 1024,
+) -> np.ndarray:
+    """Exact top-k ids for each query (brute force, chunked over queries)."""
+    base_vectors = np.ascontiguousarray(base_vectors, dtype=np.float32)
+    base_ids = np.asarray(base_ids, dtype=np.int64)
+    queries = np.ascontiguousarray(queries, dtype=np.float32)
+    k = min(k, len(base_vectors))
+    out = np.empty((len(queries), k), dtype=np.int64)
+    for start in range(0, len(queries), chunk_size):
+        stop = min(start + chunk_size, len(queries))
+        dists = pairwise_sq_l2(queries[start:stop], base_vectors)
+        if k < dists.shape[1]:
+            part = np.argpartition(dists, k - 1, axis=1)[:, :k]
+            row = np.arange(stop - start)[:, None]
+            order = np.argsort(dists[row, part], axis=1, kind="stable")
+            top = part[row, order]
+        else:
+            top = np.argsort(dists, axis=1, kind="stable")[:, :k]
+        out[start:stop] = base_ids[top]
+    return out
+
+
+class GroundTruthTracker:
+    """Live vector set with exact-kNN evaluation under insert/delete streams."""
+
+    def __init__(self, ids: np.ndarray, vectors: np.ndarray) -> None:
+        ids = np.asarray(ids, dtype=np.int64)
+        vectors = np.ascontiguousarray(vectors, dtype=np.float32)
+        if len(ids) != len(vectors):
+            raise ValueError("ids and vectors must have the same length")
+        self._vectors: dict[int, np.ndarray] = {
+            int(vid): vec for vid, vec in zip(ids, vectors)
+        }
+
+    def insert(self, vector_id: int, vector: np.ndarray) -> None:
+        self._vectors[int(vector_id)] = np.asarray(vector, dtype=np.float32)
+
+    def delete(self, vector_id: int) -> None:
+        self._vectors.pop(int(vector_id), None)
+
+    def apply_epoch(self, epoch) -> None:
+        """Apply one workload epoch (delete_ids + insert ids/vectors)."""
+        for vid in epoch.delete_ids:
+            self.delete(int(vid))
+        for vid, vec in zip(epoch.insert_ids, epoch.insert_vectors):
+            self.insert(int(vid), vec)
+
+    @property
+    def live_count(self) -> int:
+        return len(self._vectors)
+
+    def live_ids(self) -> np.ndarray:
+        return np.fromiter(self._vectors.keys(), dtype=np.int64, count=len(self._vectors))
+
+    def live_matrix(self) -> tuple[np.ndarray, np.ndarray]:
+        ids = self.live_ids()
+        vectors = (
+            np.vstack([self._vectors[int(v)] for v in ids])
+            if len(ids)
+            else np.empty((0, 0), dtype=np.float32)
+        )
+        return ids, vectors
+
+    def ground_truth(self, queries: np.ndarray, k: int) -> np.ndarray:
+        ids, vectors = self.live_matrix()
+        if len(ids) == 0:
+            return np.empty((len(queries), 0), dtype=np.int64)
+        return exact_knn(vectors, ids, queries, k)

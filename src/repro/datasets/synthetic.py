@@ -1,0 +1,133 @@
+"""Clustered Gaussian vector generators standing in for SIFT/SPACEV.
+
+Real embedding datasets are strongly clustered; what differs between the
+paper's two datasets is *how mass is spread across clusters* and whether
+newly arriving vectors follow the same distribution as the base set:
+
+* SIFT-like — near-uniform cluster weights, update pool drawn from the
+  same distribution (no shift);
+* SPACEV-like — Zipf-skewed cluster weights, update pool drawn with
+  *rotated* weights and drifted cluster centers, so continuous updates
+  shift the data distribution exactly the way §2.3/§5.2 describe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class ClusteredDataset:
+    """A generated dataset: base vectors plus a disjoint update pool."""
+
+    base: np.ndarray
+    pool: np.ndarray
+    cluster_centers: np.ndarray
+    base_cluster: np.ndarray  # cluster id per base row
+    pool_cluster: np.ndarray  # cluster id per pool row
+
+    @property
+    def dim(self) -> int:
+        return self.base.shape[1]
+
+
+def _zipf_weights(n_clusters: int, skew: float) -> np.ndarray:
+    """Zipf-like cluster mass; ``skew=0`` is uniform."""
+    ranks = np.arange(1, n_clusters + 1, dtype=np.float64)
+    weights = ranks ** (-skew)
+    return weights / weights.sum()
+
+
+def _sample_mixture(
+    n: int,
+    centers: np.ndarray,
+    weights: np.ndarray,
+    cluster_std: float,
+    rng: np.random.Generator,
+) -> tuple[np.ndarray, np.ndarray]:
+    assignments = rng.choice(len(centers), size=n, p=weights)
+    noise = rng.normal(scale=cluster_std, size=(n, centers.shape[1]))
+    vectors = centers[assignments] + noise
+    return vectors.astype(np.float32), assignments.astype(np.int64)
+
+
+def make_clustered(
+    n_base: int,
+    n_pool: int,
+    dim: int,
+    n_clusters: int,
+    rng: np.random.Generator,
+    *,
+    skew: float = 0.0,
+    drift: float = 0.0,
+    cluster_std: float = 0.5,
+    center_scale: float = 4.0,
+) -> ClusteredDataset:
+    """General generator behind the SIFT-like and SPACEV-like presets.
+
+    ``skew`` sets the Zipf exponent of cluster mass; ``drift`` controls how
+    different the update pool's distribution is from the base (0 = same
+    distribution, 1 = weights fully rotated and centers visibly moved).
+    """
+    if min(n_base, dim, n_clusters) <= 0 or n_pool < 0:
+        raise ValueError("sizes must be positive (n_pool may be zero)")
+    centers = rng.normal(scale=center_scale, size=(n_clusters, dim)).astype(
+        np.float32
+    )
+    base_weights = _zipf_weights(n_clusters, skew)
+    base, base_cluster = _sample_mixture(n_base, centers, base_weights, cluster_std, rng)
+
+    # Pool distribution: rotate the weight vector so previously light
+    # clusters become heavy (mass shift), and nudge the centers (drift in
+    # space). drift=0 reproduces the base distribution exactly.
+    shift_steps = int(round(drift * n_clusters / 2))
+    pool_weights = np.roll(base_weights, shift_steps)
+    pool_centers = centers + drift * cluster_std * rng.normal(
+        size=centers.shape
+    ).astype(np.float32)
+    if n_pool > 0:
+        pool, pool_cluster = _sample_mixture(
+            n_pool, pool_centers, pool_weights, cluster_std, rng
+        )
+    else:
+        pool = np.empty((0, dim), dtype=np.float32)
+        pool_cluster = np.empty(0, dtype=np.int64)
+    return ClusteredDataset(
+        base=base,
+        pool=pool,
+        cluster_centers=centers,
+        base_cluster=base_cluster,
+        pool_cluster=pool_cluster,
+    )
+
+
+def make_sift_like(
+    n_base: int,
+    n_pool: int = 0,
+    dim: int = 32,
+    n_clusters: int = 64,
+    seed: int = 0,
+) -> ClusteredDataset:
+    """Uniform cluster mass, no distribution shift (Workload B regime)."""
+    rng = np.random.default_rng(seed)
+    return make_clustered(
+        n_base, n_pool, dim, n_clusters, rng, skew=0.0, drift=0.0
+    )
+
+
+def make_spacev_like(
+    n_base: int,
+    n_pool: int = 0,
+    dim: int = 32,
+    n_clusters: int = 64,
+    seed: int = 0,
+    skew: float = 1.1,
+    drift: float = 0.6,
+) -> ClusteredDataset:
+    """Skewed cluster mass with shifting updates (Workload A regime)."""
+    rng = np.random.default_rng(seed)
+    return make_clustered(
+        n_base, n_pool, dim, n_clusters, rng, skew=skew, drift=drift
+    )

@@ -1,0 +1,223 @@
+"""Update workloads A/B/C (paper §5.1).
+
+Each workload is a base set plus a stream of daily epochs; every epoch
+deletes ``daily_rate`` of the live vectors uniformly at random and inserts
+the same number drawn from a disjoint update pool:
+
+* **Workload A** — SPACEV-like (skewed, shifting) at reproduction scale;
+* **Workload B** — SIFT-like (uniform, stationary), same sampling method;
+* **Workload C** — the stress-test variant: the same two regimes at the
+  largest scale the reproduction runs, used by the Figure-9 bench.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.datasets.synthetic import (
+    ClusteredDataset,
+    make_sift_like,
+    make_spacev_like,
+)
+
+
+@dataclass
+class UpdateEpoch:
+    """One simulated day of updates."""
+
+    day: int
+    delete_ids: np.ndarray
+    insert_ids: np.ndarray
+    insert_vectors: np.ndarray
+
+    @property
+    def num_updates(self) -> int:
+        return len(self.delete_ids) + len(self.insert_ids)
+
+
+@dataclass
+class Workload:
+    """Base set, query set, and the daily epoch stream."""
+
+    name: str
+    base_ids: np.ndarray
+    base_vectors: np.ndarray
+    queries: np.ndarray
+    epochs: list[UpdateEpoch] = field(default_factory=list)
+
+    @property
+    def dim(self) -> int:
+        return self.base_vectors.shape[1]
+
+    @property
+    def days(self) -> int:
+        return len(self.epochs)
+
+
+def make_workload(
+    dataset: ClusteredDataset,
+    name: str,
+    days: int,
+    daily_rate: float,
+    num_queries: int,
+    seed: int = 0,
+) -> Workload:
+    """Turn a generated dataset into a daily insert/delete stream.
+
+    Deletions sample the *current* live set uniformly (as in the paper);
+    insertions consume the update pool in order, so a drifted pool shifts
+    the live distribution monotonically over the simulated days.
+    """
+    rng = np.random.default_rng(seed + 17)
+    n_base = len(dataset.base)
+    base_ids = np.arange(n_base, dtype=np.int64)
+    per_day = max(1, int(round(n_base * daily_rate)))
+    if days * per_day > len(dataset.pool):
+        raise ValueError(
+            f"update pool too small: need {days * per_day}, have {len(dataset.pool)}"
+        )
+    # Queries sample both the base distribution and the (possibly shifted)
+    # update distribution: a live service's queries follow its live data,
+    # and the paper's headline divergence (SPANN+ tail growth on SPACEV)
+    # only shows on queries that touch the insert-heavy regions.
+    n_from_base = min(num_queries // 2 + num_queries % 2, n_base)
+    n_from_pool = min(num_queries - n_from_base, len(dataset.pool))
+    parts = [
+        dataset.base[rng.choice(n_base, size=n_from_base, replace=False)]
+    ]
+    if n_from_pool > 0:
+        parts.append(
+            dataset.pool[
+                rng.choice(len(dataset.pool), size=n_from_pool, replace=False)
+            ]
+        )
+    queries = np.vstack(parts).copy()
+    # Perturb queries so they are near, not equal to, stored vectors.
+    queries += rng.normal(scale=0.05, size=queries.shape).astype(np.float32)
+
+    live = list(range(n_base))
+    next_id = n_base
+    pool_cursor = 0
+    epochs: list[UpdateEpoch] = []
+    for day in range(days):
+        victims_idx = rng.choice(len(live), size=per_day, replace=False)
+        victims = sorted(victims_idx, reverse=True)
+        delete_ids = np.array([live[i] for i in victims], dtype=np.int64)
+        for i in victims:
+            live[i] = live[-1]
+            live.pop()
+        insert_ids = np.arange(next_id, next_id + per_day, dtype=np.int64)
+        insert_vectors = dataset.pool[pool_cursor : pool_cursor + per_day]
+        live.extend(int(v) for v in insert_ids)
+        next_id += per_day
+        pool_cursor += per_day
+        epochs.append(
+            UpdateEpoch(
+                day=day,
+                delete_ids=delete_ids,
+                insert_ids=insert_ids,
+                insert_vectors=insert_vectors.copy(),
+            )
+        )
+    return Workload(
+        name=name,
+        base_ids=base_ids,
+        base_vectors=dataset.base.copy(),
+        queries=queries,
+        epochs=epochs,
+    )
+
+
+def workload_a(
+    n_base: int = 8000,
+    days: int = 30,
+    daily_rate: float = 0.01,
+    dim: int = 32,
+    num_queries: int = 100,
+    seed: int = 0,
+) -> Workload:
+    """SPACEV-like 1%-daily-churn workload (paper Workload A, scaled)."""
+    pool_size = int(days * max(1, round(n_base * daily_rate)) * 1.05) + 16
+    dataset = make_spacev_like(n_base, pool_size, dim=dim, seed=seed)
+    return make_workload(dataset, "workload-a", days, daily_rate, num_queries, seed)
+
+
+def workload_b(
+    n_base: int = 8000,
+    days: int = 30,
+    daily_rate: float = 0.01,
+    dim: int = 32,
+    num_queries: int = 100,
+    seed: int = 0,
+) -> Workload:
+    """SIFT-like 1%-daily-churn workload (paper Workload B, scaled)."""
+    pool_size = int(days * max(1, round(n_base * daily_rate)) * 1.05) + 16
+    dataset = make_sift_like(n_base, pool_size, dim=dim, seed=seed)
+    return make_workload(dataset, "workload-b", days, daily_rate, num_queries, seed)
+
+
+def workload_d(
+    n_base: int = 4000,
+    days: int = 12,
+    daily_growth: float = 0.08,
+    dim: int = 32,
+    num_queries: int = 100,
+    seed: int = 0,
+) -> Workload:
+    """Insert-only growth stream (the real-time retrieval scenario, §2.3).
+
+    No deletions: every epoch only adds ``daily_growth`` of the *original*
+    base size, drawn from a drifted pool — the personal-document /
+    retrieval-plugin workload where the corpus monotonically grows and new
+    entries must be recallable immediately.
+    """
+    per_day = max(1, int(round(n_base * daily_growth)))
+    pool_size = days * per_day + 16
+    dataset = make_spacev_like(n_base, pool_size, dim=dim, seed=seed, drift=0.7)
+    rng = np.random.default_rng(seed + 29)
+    queries = dataset.base[
+        rng.choice(n_base, size=min(num_queries, n_base), replace=False)
+    ].copy()
+    queries += rng.normal(scale=0.05, size=queries.shape).astype(np.float32)
+    epochs = []
+    next_id = n_base
+    for day in range(days):
+        insert_ids = np.arange(next_id, next_id + per_day, dtype=np.int64)
+        epochs.append(
+            UpdateEpoch(
+                day=day,
+                delete_ids=np.empty(0, dtype=np.int64),
+                insert_ids=insert_ids,
+                insert_vectors=dataset.pool[day * per_day : (day + 1) * per_day].copy(),
+            )
+        )
+        next_id += per_day
+    return Workload(
+        name="workload-d-growth",
+        base_ids=np.arange(n_base, dtype=np.int64),
+        base_vectors=dataset.base.copy(),
+        queries=queries,
+        epochs=epochs,
+    )
+
+
+def workload_c(
+    n_base: int = 30000,
+    days: int = 10,
+    daily_rate: float = 0.01,
+    dim: int = 32,
+    num_queries: int = 100,
+    seed: int = 0,
+    skewed: bool = False,
+) -> Workload:
+    """Stress-test workload at the largest reproduction scale (Workload C)."""
+    pool_size = int(days * max(1, round(n_base * daily_rate)) * 1.05) + 16
+    if skewed:
+        dataset = make_spacev_like(n_base, pool_size, dim=dim, seed=seed)
+        name = "workload-c-skew"
+    else:
+        dataset = make_sift_like(n_base, pool_size, dim=dim, seed=seed)
+        name = "workload-c-uniform"
+    return make_workload(dataset, name, days, daily_rate, num_queries, seed)

@@ -1,0 +1,14 @@
+"""Distributed SPFresh (the paper's stated future work).
+
+The paper closes with "SPFresh's solid single-node performance builds a
+strong foundation for the future distributed version." This package
+provides that version at reproduction scale: a shard router that
+scatter-gathers queries over N independent single-node SPFresh indexes,
+hash-routes updates, and aggregates checkpoints — the standard design of
+production vector databases (each shard is exactly the single-node system,
+unchanged).
+"""
+
+from repro.distributed.sharded import ShardedSPFresh, ShardRouter
+
+__all__ = ["ShardedSPFresh", "ShardRouter"]

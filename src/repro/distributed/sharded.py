@@ -1,0 +1,177 @@
+"""Sharded SPFresh: scatter-gather search over independent shards.
+
+Design choices, mirroring production vector stores (and keeping each
+shard byte-identical to the single-node system):
+
+* **update routing** — a vector id hashes to exactly one shard, so every
+  update is a single-shard operation and shards stay balanced in
+  expectation regardless of data distribution;
+* **search** — scatter to all shards, each runs its normal top-k, results
+  merge by distance with replica dedup. The simulated query latency is
+  the *maximum* shard latency (shards run in parallel) plus a small merge
+  cost; the wall-clock path can optionally use real threads;
+* **maintenance** — drain/gc/checkpoint fan out to every shard.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+
+from repro.core.config import SPFreshConfig
+from repro.core.index import SPFreshIndex
+from repro.spann.postings import dedup_top_k
+from repro.spann.searcher import SearchResult
+from repro.util.distance import as_matrix, as_vector
+
+
+class ShardRouter:
+    """Deterministic id → shard mapping (multiplicative hashing)."""
+
+    _MIX = 0x9E3779B97F4A7C15  # 64-bit golden-ratio multiplier
+
+    def __init__(self, num_shards: int) -> None:
+        if num_shards < 1:
+            raise ValueError("num_shards must be at least 1")
+        self.num_shards = num_shards
+
+    def shard_of(self, vector_id: int) -> int:
+        mixed = (int(vector_id) * self._MIX) & 0xFFFFFFFFFFFFFFFF
+        return (mixed >> 32) % self.num_shards
+
+    def partition(self, ids: np.ndarray) -> list[np.ndarray]:
+        """Row indices of ``ids`` belonging to each shard."""
+        shards = np.array([self.shard_of(int(v)) for v in ids], dtype=np.int64)
+        return [np.nonzero(shards == s)[0] for s in range(self.num_shards)]
+
+
+class ShardedSPFresh:
+    """N single-node SPFresh indexes behind one scatter-gather facade."""
+
+    MERGE_COST_US = 10.0  # modelled cost of merging shard result lists
+
+    def __init__(self, shards: list[SPFreshIndex], router: ShardRouter) -> None:
+        if len(shards) != router.num_shards:
+            raise ValueError("router and shard list disagree on shard count")
+        self.shards = shards
+        self.router = router
+        self._pool: ThreadPoolExecutor | None = None
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        vectors: np.ndarray,
+        ids: np.ndarray | None = None,
+        num_shards: int = 4,
+        config: SPFreshConfig | None = None,
+    ) -> "ShardedSPFresh":
+        """Partition the base set by id hash and build one index per shard."""
+        vectors = as_matrix(vectors)
+        if ids is None:
+            ids = np.arange(len(vectors), dtype=np.int64)
+        ids = np.asarray(ids, dtype=np.int64)
+        config = (config or SPFreshConfig(dim=vectors.shape[1])).validate()
+        router = ShardRouter(num_shards)
+        shards: list[SPFreshIndex] = []
+        for shard_id, rows in enumerate(router.partition(ids)):
+            if len(rows) == 0:
+                raise ValueError(
+                    f"shard {shard_id} would be empty; use fewer shards"
+                )
+            shard_config = config.with_overrides(seed=config.seed + shard_id)
+            shards.append(
+                SPFreshIndex.build(vectors[rows], ids=ids[rows], config=shard_config)
+            )
+        return cls(shards, router)
+
+    # ------------------------------------------------------------------
+    # updates: single-shard operations
+    # ------------------------------------------------------------------
+    def insert(self, vector_id: int, vector: np.ndarray) -> float:
+        shard = self.shards[self.router.shard_of(vector_id)]
+        return shard.insert(vector_id, vector)
+
+    def delete(self, vector_id: int) -> float:
+        shard = self.shards[self.router.shard_of(vector_id)]
+        return shard.delete(vector_id)
+
+    # ------------------------------------------------------------------
+    # search: scatter-gather
+    # ------------------------------------------------------------------
+    def search(
+        self,
+        query: np.ndarray,
+        k: int,
+        nprobe: int | None = None,
+        parallel: bool = False,
+    ) -> SearchResult:
+        """Top-k over all shards; simulated latency = slowest shard + merge.
+
+        ``parallel=True`` dispatches shard searches on a thread pool (real
+        concurrency for wall-clock benches); the simulated latency model is
+        identical either way.
+        """
+        query = as_vector(query, self.shards[0].config.dim)
+        if parallel:
+            pool = self._ensure_pool()
+            results = list(
+                pool.map(lambda shard: shard.search(query, k, nprobe), self.shards)
+            )
+        else:
+            results = [shard.search(query, k, nprobe) for shard in self.shards]
+        all_ids = np.concatenate([r.ids for r in results])
+        all_dists = np.concatenate([r.distances for r in results])
+        top_ids, top_dists = dedup_top_k(all_ids, all_dists, k)
+        return SearchResult(
+            ids=top_ids,
+            distances=top_dists,
+            latency_us=max(r.latency_us for r in results) + self.MERGE_COST_US,
+            postings_probed=sum(r.postings_probed for r in results),
+            entries_scanned=sum(r.entries_scanned for r in results),
+            io_latency_us=max(r.io_latency_us for r in results),
+            truncated=any(r.truncated for r in results),
+        )
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(max_workers=len(self.shards))
+        return self._pool
+
+    # ------------------------------------------------------------------
+    # maintenance
+    # ------------------------------------------------------------------
+    def drain(self) -> int:
+        return sum(shard.drain() for shard in self.shards)
+
+    def gc_pass(self) -> int:
+        return sum(shard.gc_pass() for shard in self.shards)
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+        for shard in self.shards:
+            shard.stop()
+
+    # ------------------------------------------------------------------
+    # accounting
+    # ------------------------------------------------------------------
+    @property
+    def num_shards(self) -> int:
+        return len(self.shards)
+
+    @property
+    def live_vector_count(self) -> int:
+        return sum(shard.live_vector_count for shard in self.shards)
+
+    @property
+    def num_postings(self) -> int:
+        return sum(shard.num_postings for shard in self.shards)
+
+    def memory_bytes(self) -> int:
+        return sum(shard.memory_bytes() for shard in self.shards)
+
+    def shard_sizes(self) -> list[int]:
+        return [shard.live_vector_count for shard in self.shards]

@@ -1,0 +1,17 @@
+"""Evaluation metrics: recall, latency percentiles, resource accounting."""
+
+from repro.metrics.recall import recall_at_k, recall_curve
+from repro.metrics.latency import LatencyTracker
+from repro.metrics.resources import ResourceModel, index_memory_report
+from repro.metrics.tracing import TraceEvent, TraceLog, TracedIndex
+
+__all__ = [
+    "recall_at_k",
+    "recall_curve",
+    "LatencyTracker",
+    "ResourceModel",
+    "index_memory_report",
+    "TraceEvent",
+    "TraceLog",
+    "TracedIndex",
+]

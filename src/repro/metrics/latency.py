@@ -1,0 +1,52 @@
+"""Latency percentile tracking (paper metrics: P90/P95/P99/P99.9, QPS)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+PERCENTILES = (50.0, 90.0, 95.0, 99.0, 99.9)
+
+
+class LatencyTracker:
+    """Accumulates latency samples and reports paper-style percentiles."""
+
+    def __init__(self) -> None:
+        self._samples: list[float] = []
+
+    def record(self, latency_us: float) -> None:
+        self._samples.append(float(latency_us))
+
+    def extend(self, latencies_us) -> None:
+        self._samples.extend(float(x) for x in latencies_us)
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    def percentile(self, p: float) -> float:
+        if not self._samples:
+            return 0.0
+        return float(np.percentile(self._samples, p))
+
+    @property
+    def mean(self) -> float:
+        return float(np.mean(self._samples)) if self._samples else 0.0
+
+    @property
+    def max(self) -> float:
+        return float(np.max(self._samples)) if self._samples else 0.0
+
+    def summary(self) -> dict[str, float]:
+        """All standard percentiles plus mean, in microseconds."""
+        out = {f"p{str(p).rstrip('0').rstrip('.')}": self.percentile(p) for p in PERCENTILES}
+        out["mean"] = self.mean
+        out["max"] = self.max
+        return out
+
+    def qps(self, wall_s: float) -> float:
+        """Operations per second given the wall-clock window that produced them."""
+        if wall_s <= 0:
+            return 0.0
+        return len(self._samples) / wall_s
+
+    def reset(self) -> None:
+        self._samples.clear()

@@ -1,0 +1,60 @@
+"""Resource accounting: modelled DRAM footprints and scaling projections.
+
+The paper's Table 1 and Figure 7 memory panels compare systems by their
+DRAM needs. At reproduction scale the absolute numbers are tiny, so this
+module reports both the measured modelled bytes and a projection to a
+reference scale (default 100M vectors, the Workload A scale) using each
+component's known scaling law — entries per vector or per posting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class ResourceModel:
+    """Per-component memory accounting with linear scaling projection."""
+
+    vectors: int
+    postings: int
+    centroid_bytes: int
+    version_map_bytes: int
+    block_mapping_bytes: int
+    extra_bytes: int = 0
+
+    @property
+    def total_bytes(self) -> int:
+        return (
+            self.centroid_bytes
+            + self.version_map_bytes
+            + self.block_mapping_bytes
+            + self.extra_bytes
+        )
+
+    def projected_bytes(self, target_vectors: int) -> int:
+        """Scale each component linearly to a target dataset size.
+
+        Centroid and mapping structures scale with posting count (postings
+        per vector stays constant under LIRE's balance invariant); the
+        version map scales with vector count.
+        """
+        if self.vectors == 0:
+            return 0
+        ratio = target_vectors / self.vectors
+        return int(
+            (self.centroid_bytes + self.block_mapping_bytes + self.extra_bytes)
+            * ratio
+            + self.version_map_bytes * ratio
+        )
+
+
+def index_memory_report(index) -> ResourceModel:
+    """Build a :class:`ResourceModel` from an SPFresh-like index object."""
+    return ResourceModel(
+        vectors=index.version_map.live_count,
+        postings=index.controller.num_postings,
+        centroid_bytes=index.centroid_index.memory_bytes(),
+        version_map_bytes=index.version_map.memory_bytes(),
+        block_mapping_bytes=index.controller.mapping_memory_bytes(),
+    )

@@ -1,0 +1,22 @@
+"""SPANN substrate: balanced build, boundary replication, disk search.
+
+SPFresh "reuses the SPANN SPTAG index ... as well as its searcher" (paper
+§4.1); this package is that reused layer. It knows nothing about LIRE —
+the core package composes these pieces with the updater/rebuilder.
+"""
+
+from repro.spann.closure import closure_assign, select_replicas
+from repro.spann.build import BuildPlan, build_plan
+from repro.spann.searcher import SearchResult, SpannSearcher
+from repro.spann.postings import dedup_top_k, live_view
+
+__all__ = [
+    "closure_assign",
+    "select_replicas",
+    "BuildPlan",
+    "build_plan",
+    "SearchResult",
+    "SpannSearcher",
+    "dedup_top_k",
+    "live_view",
+]

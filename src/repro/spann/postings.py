@@ -1,0 +1,44 @@
+"""Posting-scan helpers shared by the searcher and the Local Rebuilder."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.storage.layout import PostingData
+
+
+def live_view(data: PostingData, version_map=None) -> PostingData:
+    """Filter a decoded posting down to live entries.
+
+    An entry is live when the version map confirms its id is registered,
+    undeleted, and its stored version is current. ``version_map=None``
+    treats everything as live (static-index paths and tests).
+    """
+    if version_map is None or len(data) == 0:
+        return data
+    mask = version_map.live_mask(data.ids, data.versions)
+    if mask.all():
+        return data
+    return data.select(mask)
+
+
+def dedup_top_k(
+    ids: np.ndarray, distances: np.ndarray, k: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Top-k by ascending distance with replica de-duplication.
+
+    Boundary replication stores a vector in several postings, so a probe
+    can surface the same id multiple times; only the closest instance (they
+    are identical vectors, so equal distances) must be kept.
+    """
+    if len(ids) == 0 or k <= 0:
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float32)
+    order = np.argsort(distances, kind="stable")
+    ids_sorted = ids[order]
+    dists_sorted = distances[order]
+    _, first_idx = np.unique(ids_sorted, return_index=True)
+    keep = np.sort(first_idx)[: max(k, 0)]
+    # `first_idx` points at each id's best-ranked occurrence; sorting the
+    # kept positions restores ascending-distance order.
+    keep = keep[np.argsort(dists_sorted[keep], kind="stable")][:k]
+    return ids_sorted[keep].astype(np.int64), dists_sorted[keep].astype(np.float32)

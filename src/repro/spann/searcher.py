@@ -1,0 +1,224 @@
+"""Disk-posting searcher (SPANN's searcher, reused by SPFresh §4.1).
+
+Query flow: in-memory centroid navigation → ParallelGET of candidate
+postings → stale-replica filtering via the version map → vectorized scan →
+replica-deduplicated top-k. The simulated latency of a query is
+
+    io (ParallelGET waves on the device)  +
+    modelled CPU (fixed navigation cost + per-entry scan cost)
+
+and the paper's 10 ms hard cut is honoured by *truncating the probe list*:
+when the full candidate fetch would blow the budget, only the prefix of
+postings that fits is read and the query returns possibly-degraded results
+at the budget latency — exactly the accuracy/latency coupling Figure 2 and
+Figure 7 rely on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.centroids.base import CentroidIndex
+from repro.spann.postings import dedup_top_k, live_view
+from repro.storage.controller import BlockController
+from repro.util.distance import as_vector, sq_l2_batch
+from repro.util.errors import StalePostingError
+
+
+@dataclass
+class SearchResult:
+    """Outcome of one query."""
+
+    ids: np.ndarray
+    distances: np.ndarray
+    latency_us: float
+    postings_probed: int = 0
+    entries_scanned: int = 0
+    io_latency_us: float = 0.0
+    truncated: bool = False
+    undersized_postings: list[int] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.ids)
+
+
+class SpannSearcher:
+    """Shared searcher over a centroid index + block controller."""
+
+    def __init__(
+        self,
+        centroid_index: CentroidIndex,
+        controller: BlockController,
+        version_map=None,
+        *,
+        default_nprobe: int = 8,
+        latency_budget_us: float | None = None,
+        cpu_cost_per_entry_us: float = 0.02,
+        cpu_cost_per_query_us: float = 30.0,
+        min_posting_size: int = 0,
+        prune_epsilon: float | None = None,
+    ) -> None:
+        self.centroid_index = centroid_index
+        self.controller = controller
+        self.version_map = version_map
+        self.default_nprobe = default_nprobe
+        self.latency_budget_us = latency_budget_us
+        self.cpu_cost_per_entry_us = cpu_cost_per_entry_us
+        self.cpu_cost_per_query_us = cpu_cost_per_query_us
+        self.min_posting_size = min_posting_size
+        # SPANN's query-aware dynamic pruning: skip candidate postings
+        # whose centroid distance exceeds (1 + eps) x the nearest centroid
+        # distance — easy queries touch fewer postings. None disables.
+        self.prune_epsilon = prune_epsilon
+
+    # ------------------------------------------------------------------
+    def _budget_prefix(self, posting_ids: list[int]) -> tuple[list[int], bool]:
+        """Longest prefix of candidate postings that fits the latency budget."""
+        if self.latency_budget_us is None:
+            return posting_ids, False
+        profile = self.controller.ssd.profile
+        codec = self.controller.codec
+        cum_blocks = 0
+        kept: list[int] = []
+        for pid in posting_ids:
+            try:
+                length = self.controller.length(pid)
+            except StalePostingError:
+                continue
+            blocks = codec.blocks_needed(length)
+            projected = profile.read_batch_latency_us(cum_blocks + blocks)
+            if kept and projected + self.cpu_cost_per_query_us > self.latency_budget_us:
+                return kept, True
+            kept.append(pid)
+            cum_blocks += blocks
+        return kept, False
+
+    def search(
+        self, query: np.ndarray, k: int, nprobe: int | None = None
+    ) -> SearchResult:
+        """Return the approximate ``k`` nearest live vectors to ``query``."""
+        query = as_vector(query, self.centroid_index.dim)
+        nprobe = nprobe or self.default_nprobe
+        centroid_hits = self.centroid_index.search(query, nprobe)
+        candidate_pids = [int(pid) for pid in centroid_hits.posting_ids]
+        if self.prune_epsilon is not None and len(centroid_hits) > 1:
+            limit = (1.0 + self.prune_epsilon) ** 2 * float(
+                centroid_hits.distances[0]
+            )
+            candidate_pids = [
+                int(pid)
+                for pid, dist in zip(
+                    centroid_hits.posting_ids, centroid_hits.distances
+                )
+                if float(dist) <= limit
+            ]
+        probe_pids, truncated = self._budget_prefix(candidate_pids)
+        postings, io_latency = self.controller.parallel_get(probe_pids)
+
+        all_ids: list[np.ndarray] = []
+        all_dists: list[np.ndarray] = []
+        entries_scanned = 0
+        undersized: list[int] = []
+        for pid in probe_pids:
+            data = postings.get(pid)
+            if data is None:
+                continue  # deleted concurrently; its vectors live elsewhere
+            live = live_view(data, self.version_map)
+            entries_scanned += len(data)
+            if self.min_posting_size and len(live) < self.min_posting_size:
+                undersized.append(pid)
+            if len(live) == 0:
+                continue
+            all_ids.append(live.ids)
+            all_dists.append(sq_l2_batch(query, live.vectors))
+
+        if all_ids:
+            ids = np.concatenate(all_ids)
+            dists = np.concatenate(all_dists)
+            top_ids, top_dists = dedup_top_k(ids, dists, k)
+        else:
+            top_ids = np.empty(0, dtype=np.int64)
+            top_dists = np.empty(0, dtype=np.float32)
+
+        cpu_latency = (
+            self.cpu_cost_per_query_us + self.cpu_cost_per_entry_us * entries_scanned
+        )
+        latency = io_latency + cpu_latency
+        if truncated and self.latency_budget_us is not None:
+            latency = max(latency, self.latency_budget_us)
+        if self.latency_budget_us is not None:
+            latency = min(latency, self.latency_budget_us)
+        return SearchResult(
+            ids=top_ids,
+            distances=top_dists,
+            latency_us=latency,
+            postings_probed=len(probe_pids),
+            entries_scanned=entries_scanned,
+            io_latency_us=io_latency,
+            truncated=truncated,
+            undersized_postings=undersized,
+        )
+
+    def search_many(
+        self, queries, k: int, nprobe: int | None = None
+    ) -> list[SearchResult]:
+        """Batched search: one device submission serves many queries.
+
+        Candidate postings of all queries are unioned and fetched with a
+        single ParallelGET, so the device queue amortizes across the batch
+        (the paper's ParallelGET rationale, applied cross-query). Each
+        returned result carries the *shared* batch I/O latency — the
+        completion time of the batched submission — plus its own CPU term.
+        The per-query latency budget is not applied in batch mode.
+        """
+        queries = [as_vector(q, self.centroid_index.dim) for q in queries]
+        nprobe = nprobe or self.default_nprobe
+        per_query_pids: list[list[int]] = []
+        union: dict[int, None] = {}
+        for query in queries:
+            hits = self.centroid_index.search(query, nprobe)
+            pids = [int(p) for p in hits.posting_ids]
+            per_query_pids.append(pids)
+            for pid in pids:
+                union[pid] = None
+        postings, io_latency = self.controller.parallel_get(list(union))
+        live_cache: dict[int, object] = {}
+        results: list[SearchResult] = []
+        for query, pids in zip(queries, per_query_pids):
+            all_ids: list[np.ndarray] = []
+            all_dists: list[np.ndarray] = []
+            entries = 0
+            for pid in pids:
+                data = postings.get(pid)
+                if data is None:
+                    continue
+                live = live_cache.get(pid)
+                if live is None:
+                    live = live_view(data, self.version_map)
+                    live_cache[pid] = live
+                entries += len(data)
+                if len(live) == 0:
+                    continue
+                all_ids.append(live.ids)
+                all_dists.append(sq_l2_batch(query, live.vectors))
+            if all_ids:
+                top_ids, top_dists = dedup_top_k(
+                    np.concatenate(all_ids), np.concatenate(all_dists), k
+                )
+            else:
+                top_ids = np.empty(0, dtype=np.int64)
+                top_dists = np.empty(0, dtype=np.float32)
+            cpu = self.cpu_cost_per_query_us + self.cpu_cost_per_entry_us * entries
+            results.append(
+                SearchResult(
+                    ids=top_ids,
+                    distances=top_dists,
+                    latency_us=io_latency + cpu,
+                    postings_probed=len(pids),
+                    entries_scanned=entries,
+                    io_latency_us=io_latency,
+                )
+            )
+        return results

@@ -1,0 +1,33 @@
+"""SSD-backed storage substrate (paper §4.3).
+
+The paper's Block Controller runs on SPDK against a raw NVMe device. This
+package substitutes a deterministic simulated block device
+(:class:`SimulatedSSD`) whose latency model is driven by block counts and a
+bounded internal queue, plus the Block Controller proper: posting→block
+mapping, free-block pool, GET/ParallelGET/APPEND/PUT, and the snapshot/WAL
+machinery for crash recovery (§4.4).
+"""
+
+from repro.storage.ssd import SimulatedSSD, SSDProfile
+from repro.storage.filedev import FileBackedSSD
+from repro.storage.iostats import IOStats, IOWindow
+from repro.storage.layout import PostingCodec, PostingData
+from repro.storage.controller import BlockController
+from repro.storage.wal import WriteAheadLog, WalRecord
+from repro.storage.snapshot import SnapshotManager
+from repro.storage.cache import CachedBlockController
+
+__all__ = [
+    "SimulatedSSD",
+    "FileBackedSSD",
+    "SSDProfile",
+    "IOStats",
+    "IOWindow",
+    "PostingCodec",
+    "PostingData",
+    "BlockController",
+    "WriteAheadLog",
+    "WalRecord",
+    "SnapshotManager",
+    "CachedBlockController",
+]

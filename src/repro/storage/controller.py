@@ -1,0 +1,248 @@
+"""Block Controller (paper §4.3): posting store over the simulated SSD.
+
+Responsibilities, mirroring the paper:
+
+* **Block Mapping** — posting id → (length, SSD block offsets), kept in
+  memory; one entry is modelled at 40 bytes as in the paper.
+* **Free Block Pool** — allocation and (optionally deferred) release of
+  blocks; deferral implements the pre-release buffer used by snapshots.
+* **Posting API** — GET, ParallelGET, APPEND (tail-block read-modify-write
+  only), PUT, DELETE. All return simulated device latency so callers can
+  attribute I/O time to foreground/background work.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.storage.layout import PostingCodec, PostingData
+from repro.storage.ssd import SimulatedSSD
+from repro.util.errors import OutOfSpaceError, StalePostingError, StorageError
+
+MAPPING_ENTRY_BYTES = 40  # paper: "a block mapping entry only consumes 40 bytes"
+
+
+@dataclass
+class _PostingMeta:
+    length: int
+    blocks: list[int] = field(default_factory=list)
+
+
+class BlockController:
+    """Thread-safe posting store with simulated latency accounting."""
+
+    def __init__(self, ssd: SimulatedSSD, codec: PostingCodec) -> None:
+        if codec.block_size != ssd.block_size:
+            raise StorageError("codec block size must match device block size")
+        self.ssd = ssd
+        self.codec = codec
+        self._lock = threading.RLock()
+        self._mapping: dict[int, _PostingMeta] = {}
+        self._free: deque[int] = deque(range(ssd.num_blocks))
+        self._defer_release = False
+        self._pre_release: list[int] = []
+
+    # ------------------------------------------------------------------
+    # free pool
+    # ------------------------------------------------------------------
+    def _alloc(self, n: int) -> list[int]:
+        if len(self._free) < n:
+            raise OutOfSpaceError(
+                f"need {n} free blocks, only {len(self._free)} available"
+            )
+        return [self._free.popleft() for _ in range(n)]
+
+    def _release(self, blocks: list[int]) -> None:
+        if not blocks:
+            return
+        if self._defer_release:
+            self._pre_release.extend(blocks)
+        else:
+            self.ssd.trim(blocks)
+            self._free.extend(blocks)
+
+    def begin_defer_release(self) -> None:
+        """Route freed blocks to the pre-release buffer (snapshot window)."""
+        with self._lock:
+            self._defer_release = True
+
+    def end_defer_release(self) -> list[int]:
+        """Stop deferral and flush the pre-release buffer to the free pool.
+
+        Returns the block ids that were released, for audit/testing.
+        """
+        with self._lock:
+            self._defer_release = False
+            released = self._pre_release
+            self._pre_release = []
+            self.ssd.trim(released)
+            self._free.extend(released)
+            return released
+
+    @property
+    def free_block_count(self) -> int:
+        with self._lock:
+            return len(self._free)
+
+    # ------------------------------------------------------------------
+    # posting API
+    # ------------------------------------------------------------------
+    def exists(self, posting_id: int) -> bool:
+        with self._lock:
+            return posting_id in self._mapping
+
+    def length(self, posting_id: int) -> int:
+        """Entry count of a posting (includes stale replicas, as on disk)."""
+        with self._lock:
+            meta = self._mapping.get(posting_id)
+            if meta is None:
+                raise StalePostingError(f"posting {posting_id} does not exist")
+            return meta.length
+
+    def posting_ids(self) -> list[int]:
+        with self._lock:
+            return list(self._mapping.keys())
+
+    @property
+    def num_postings(self) -> int:
+        with self._lock:
+            return len(self._mapping)
+
+    def put(self, posting_id: int, data: PostingData) -> float:
+        """Write a full posting (create or overwrite). Returns latency (us)."""
+        payloads = self.codec.encode(data)
+        with self._lock:
+            new_blocks = self._alloc(len(payloads))
+            latency = self.ssd.write_blocks(new_blocks, payloads) if payloads else 0.0
+            old = self._mapping.get(posting_id)
+            self._mapping[posting_id] = _PostingMeta(len(data), new_blocks)
+            if old is not None:
+                self._release(old.blocks)
+            return latency
+
+    def create(self, posting_id: int, data: PostingData) -> float:
+        """PUT that requires the posting id to be unused."""
+        with self._lock:
+            if posting_id in self._mapping:
+                raise StorageError(f"posting {posting_id} already exists")
+            return self.put(posting_id, data)
+
+    def get(self, posting_id: int) -> tuple[PostingData, float]:
+        """Read one posting. Returns (data, simulated latency in us)."""
+        with self._lock:
+            meta = self._mapping.get(posting_id)
+            if meta is None:
+                raise StalePostingError(f"posting {posting_id} does not exist")
+            payloads, latency = self.ssd.read_blocks(meta.blocks)
+            return self.codec.decode(payloads, meta.length), latency
+
+    def parallel_get(
+        self, posting_ids: list[int]
+    ) -> tuple[dict[int, PostingData], float]:
+        """Read many postings in one batched device submission.
+
+        Missing postings (deleted concurrently) are silently skipped, which
+        is what the searcher needs — a posting that vanished mid-query has
+        been split and its vectors are reachable via the new postings.
+        """
+        with self._lock:
+            metas: list[tuple[int, _PostingMeta]] = []
+            all_blocks: list[int] = []
+            for pid in posting_ids:
+                meta = self._mapping.get(pid)
+                if meta is None:
+                    continue
+                metas.append((pid, meta))
+                all_blocks.extend(meta.blocks)
+            payloads, latency = self.ssd.read_blocks(all_blocks)
+            out: dict[int, PostingData] = {}
+            cursor = 0
+            for pid, meta in metas:
+                nblocks = len(meta.blocks)
+                out[pid] = self.codec.decode(
+                    payloads[cursor : cursor + nblocks], meta.length
+                )
+                cursor += nblocks
+            return out, latency
+
+    def append(self, posting_id: int, data: PostingData) -> float:
+        """Append entries to a posting's tail (paper's APPEND).
+
+        Only the tail block is read-modified-written; full blocks of new data
+        are written directly. The mapping entry is swapped atomically and the
+        replaced tail block is released.
+        """
+        if len(data) == 0:
+            return 0.0
+        with self._lock:
+            meta = self._mapping.get(posting_id)
+            if meta is None:
+                raise StalePostingError(f"posting {posting_id} does not exist")
+            latency = 0.0
+            epb = self.codec.entries_per_block
+            tail_fill = self.codec.tail_fill(meta.length)
+            if meta.length > 0 and tail_fill < epb:
+                # Tail block is partial: re-read its entries and merge.
+                tail_block = meta.blocks[-1]
+                payloads, lat = self.ssd.read_blocks([tail_block])
+                latency += lat
+                tail_entries = self.codec.decode(payloads, tail_fill)
+                merged = tail_entries.concat(data)
+                keep_blocks = meta.blocks[:-1]
+                released = [tail_block]
+            else:
+                merged = data
+                keep_blocks = list(meta.blocks)
+                released = []
+            new_payloads = self.codec.encode(merged)
+            new_blocks = self._alloc(len(new_payloads))
+            latency += self.ssd.write_blocks(new_blocks, new_payloads)
+            self._mapping[posting_id] = _PostingMeta(
+                meta.length + len(data), keep_blocks + new_blocks
+            )
+            self._release(released)
+            return latency
+
+    def delete(self, posting_id: int) -> None:
+        """Remove a posting and release its blocks."""
+        with self._lock:
+            meta = self._mapping.pop(posting_id, None)
+            if meta is None:
+                raise StalePostingError(f"posting {posting_id} does not exist")
+            self._release(meta.blocks)
+
+    # ------------------------------------------------------------------
+    # introspection / recovery support
+    # ------------------------------------------------------------------
+    def mapping_memory_bytes(self) -> int:
+        """Modelled DRAM footprint of the block mapping (40 B per posting)."""
+        with self._lock:
+            return len(self._mapping) * MAPPING_ENTRY_BYTES
+
+    def total_entries(self) -> int:
+        """Sum of posting lengths, i.e. on-disk entries incl. stale replicas."""
+        with self._lock:
+            return sum(m.length for m in self._mapping.values())
+
+    def state_dict(self) -> dict:
+        """Serializable snapshot of mapping + free pool (for SnapshotManager)."""
+        with self._lock:
+            return {
+                "mapping": {
+                    pid: (m.length, list(m.blocks)) for pid, m in self._mapping.items()
+                },
+                "free": list(self._free),
+                "pre_release": list(self._pre_release),
+            }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore mapping + free pool from a snapshot."""
+        with self._lock:
+            self._mapping = {
+                int(pid): _PostingMeta(int(length), list(blocks))
+                for pid, (length, blocks) in state["mapping"].items()
+            }
+            self._free = deque(int(b) for b in state["free"])
+            self._pre_release = [int(b) for b in state.get("pre_release", [])]

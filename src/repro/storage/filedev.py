@@ -1,0 +1,131 @@
+"""File-backed block device: a durable variant of the simulated SSD.
+
+`SimulatedSSD` keeps blocks in memory, which is fine for experiments but
+means a "crash" test must hand the same Python object to recovery. The
+file-backed device stores blocks in a flat file (block i at offset
+``i * block_size``), so an index can be recovered by a *new* process —
+the full crash-recovery story: reopen device file, load snapshot, replay
+WAL.
+
+The latency model and stats accounting are inherited unchanged: simulated
+latencies still come from the profile; the file I/O underneath is an
+implementation detail, not part of the modelled device time.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+
+from repro.storage.iostats import IOStats
+from repro.storage.ssd import SimulatedSSD, SSDProfile
+from repro.util.errors import StorageError
+
+
+class FileBackedSSD(SimulatedSSD):
+    """Block device persisted to a flat file; survives process restarts."""
+
+    def __init__(
+        self,
+        path: str,
+        num_blocks: int,
+        profile: SSDProfile | None = None,
+    ) -> None:
+        # Intentionally skip SimulatedSSD.__init__'s dict store; replicate
+        # its parameter handling and use the file as the block store.
+        if num_blocks <= 0:
+            raise ValueError("num_blocks must be positive")
+        self.profile = profile or SSDProfile()
+        self.num_blocks = num_blocks
+        self.stats = IOStats()
+        self._lock = threading.Lock()
+        self.path = path
+        size = num_blocks * self.profile.block_size
+        exists = os.path.exists(path)
+        self._fh = open(path, "r+b" if exists else "w+b")
+        current = os.path.getsize(path)
+        if current < size:
+            self._fh.truncate(size)
+        elif current > size:
+            raise StorageError(
+                f"existing device file {path} is {current} bytes, larger than "
+                f"the requested geometry ({size}); refusing to shrink it"
+            )
+
+    # ------------------------------------------------------------------
+    # block primitives (same API + latency accounting as SimulatedSSD)
+    # ------------------------------------------------------------------
+    def read_blocks(self, block_ids: list[int]) -> tuple[list[bytes], float]:
+        out: list[bytes] = []
+        with self._lock:
+            for bid in block_ids:
+                self._check_block_id(bid)
+                self._fh.seek(bid * self.block_size)
+                out.append(self._fh.read(self.block_size))
+        latency = self.profile.read_batch_latency_us(len(block_ids))
+        self.stats.record_read(
+            len(block_ids), len(block_ids) * self.block_size, latency
+        )
+        return out, latency
+
+    def write_blocks(self, block_ids: list[int], payloads: list[bytes]) -> float:
+        if len(block_ids) != len(payloads):
+            raise StorageError("block_ids and payloads length mismatch")
+        with self._lock:
+            for bid, data in zip(block_ids, payloads):
+                self._check_block_id(bid)
+                if len(data) > self.block_size:
+                    raise StorageError(
+                        f"payload of {len(data)} bytes exceeds block size "
+                        f"{self.block_size}"
+                    )
+                if len(data) < self.block_size:
+                    data = data + b"\x00" * (self.block_size - len(data))
+                self._fh.seek(bid * self.block_size)
+                self._fh.write(data)
+            self._fh.flush()
+        latency = self.profile.write_batch_latency_us(len(block_ids))
+        self.stats.record_write(
+            len(block_ids), len(block_ids) * self.block_size, latency
+        )
+        return latency
+
+    def trim(self, block_ids: list[int]) -> None:
+        zero = b"\x00" * self.block_size
+        with self._lock:
+            for bid in block_ids:
+                self._check_block_id(bid)
+                self._fh.seek(bid * self.block_size)
+                self._fh.write(zero)
+            self._fh.flush()
+
+    def used_blocks(self) -> int:
+        """Blocks with any non-zero byte (diagnostic; O(device) scan)."""
+        zero = b"\x00" * self.block_size
+        used = 0
+        with self._lock:
+            self._fh.seek(0)
+            for _ in range(self.num_blocks):
+                if self._fh.read(self.block_size) != zero:
+                    used += 1
+        return used
+
+    # ------------------------------------------------------------------
+    def sync(self) -> None:
+        """fsync the backing file (called before declaring a checkpoint)."""
+        with self._lock:
+            self._fh.flush()
+            os.fsync(self._fh.fileno())
+
+    def close(self) -> None:
+        with self._lock:
+            self._fh.close()
+
+    @classmethod
+    def reopen(
+        cls, path: str, num_blocks: int, profile: SSDProfile | None = None
+    ) -> "FileBackedSSD":
+        """Open an existing device file (the restarted-process path)."""
+        if not os.path.exists(path):
+            raise StorageError(f"no device file at {path}")
+        return cls(path, num_blocks, profile)

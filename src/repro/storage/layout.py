@@ -1,0 +1,149 @@
+"""On-"disk" layout of postings (paper §4.3, Storage Data Layout).
+
+A posting is a list of ``<vector id, version number, raw vector>`` tuples
+packed into fixed-size SSD blocks. Entries never span a block boundary so
+APPEND can rewrite only the tail block, which is the property the paper's
+append-optimized layout depends on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.errors import StorageError
+
+
+@dataclass
+class PostingData:
+    """Decoded in-memory view of one posting.
+
+    ``ids`` are int64 vector ids, ``versions`` the uint8 version bytes
+    captured at append time, ``vectors`` the raw float32 rows. The three
+    arrays always share the same length.
+    """
+
+    ids: np.ndarray
+    versions: np.ndarray
+    vectors: np.ndarray
+
+    def __post_init__(self) -> None:
+        if not (len(self.ids) == len(self.versions) == len(self.vectors)):
+            raise ValueError("PostingData arrays must have equal length")
+
+    def __len__(self) -> int:
+        return len(self.ids)
+
+    @classmethod
+    def empty(cls, dim: int) -> "PostingData":
+        return cls(
+            ids=np.empty(0, dtype=np.int64),
+            versions=np.empty(0, dtype=np.uint8),
+            vectors=np.empty((0, dim), dtype=np.float32),
+        )
+
+    @classmethod
+    def from_rows(cls, ids, versions, vectors) -> "PostingData":
+        vectors = np.ascontiguousarray(vectors, dtype=np.float32)
+        if vectors.ndim == 1:
+            vectors = vectors.reshape(1, -1)
+        return cls(
+            ids=np.asarray(ids, dtype=np.int64).reshape(-1),
+            versions=np.asarray(versions, dtype=np.uint8).reshape(-1),
+            vectors=vectors,
+        )
+
+    def select(self, mask: np.ndarray) -> "PostingData":
+        """New PostingData containing only rows where ``mask`` is True."""
+        return PostingData(
+            ids=self.ids[mask], versions=self.versions[mask], vectors=self.vectors[mask]
+        )
+
+    def concat(self, other: "PostingData") -> "PostingData":
+        return PostingData(
+            ids=np.concatenate([self.ids, other.ids]),
+            versions=np.concatenate([self.versions, other.versions]),
+            vectors=np.vstack([self.vectors, other.vectors]),
+        )
+
+
+class PostingCodec:
+    """Packs posting entries into block payloads and back.
+
+    The codec is parameterized by vector dimensionality and block size; one
+    codec instance is shared by the whole index.
+    """
+
+    ID_BYTES = 8
+    VERSION_BYTES = 1
+
+    def __init__(self, dim: int, block_size: int) -> None:
+        if dim <= 0:
+            raise ValueError("dim must be positive")
+        self.dim = dim
+        self.block_size = block_size
+        self.entry_size = self.ID_BYTES + self.VERSION_BYTES + 4 * dim
+        self.entries_per_block = block_size // self.entry_size
+        if self.entries_per_block < 1:
+            raise StorageError(
+                f"block size {block_size} cannot hold one {self.entry_size}-byte "
+                f"entry (dim={dim})"
+            )
+        self._dtype = np.dtype(
+            [("id", "<i8"), ("version", "u1"), ("vec", "<f4", (dim,))]
+        )
+
+    def blocks_needed(self, num_entries: int) -> int:
+        """Blocks required to store ``num_entries`` entries."""
+        if num_entries <= 0:
+            return 0
+        return -(-num_entries // self.entries_per_block)
+
+    def encode(self, data: PostingData) -> list[bytes]:
+        """Encode a posting into a list of block payloads."""
+        n = len(data)
+        if n == 0:
+            return []
+        packed = np.zeros(n, dtype=self._dtype)
+        packed["id"] = data.ids
+        packed["version"] = data.versions
+        packed["vec"] = data.vectors
+        raw = packed.tobytes()
+        epb = self.entries_per_block
+        payloads: list[bytes] = []
+        for start in range(0, n, epb):
+            stop = min(start + epb, n)
+            payloads.append(raw[start * self.entry_size : stop * self.entry_size])
+        return payloads
+
+    def decode(self, payloads: list[bytes], num_entries: int) -> PostingData:
+        """Decode block payloads back into a posting of ``num_entries``."""
+        if num_entries == 0:
+            return PostingData.empty(self.dim)
+        expected_blocks = self.blocks_needed(num_entries)
+        if len(payloads) < expected_blocks:
+            raise StorageError(
+                f"need {expected_blocks} blocks for {num_entries} entries, "
+                f"got {len(payloads)}"
+            )
+        epb = self.entries_per_block
+        parts: list[bytes] = []
+        remaining = num_entries
+        for payload in payloads[:expected_blocks]:
+            take = min(remaining, epb)
+            parts.append(payload[: take * self.entry_size])
+            remaining -= take
+        packed = np.frombuffer(b"".join(parts), dtype=self._dtype, count=num_entries)
+        return PostingData(
+            ids=packed["id"].copy(),
+            versions=packed["version"].copy(),
+            vectors=packed["vec"].copy(),
+        )
+
+    def tail_fill(self, num_entries: int) -> int:
+        """How many entries sit in the (possibly partial) tail block."""
+        if num_entries == 0:
+            return 0
+        rem = num_entries % self.entries_per_block
+        return rem if rem != 0 else self.entries_per_block

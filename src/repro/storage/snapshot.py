@@ -1,0 +1,95 @@
+"""Snapshot manager (paper §4.4).
+
+A snapshot captures the in-memory index state (centroid index, version map,
+block mapping + free pool). The on-disk posting blocks themselves do not
+need copying because the Block Controller's copy-on-write block allocation
+plus the pre-release buffer keeps every block referenced by the last
+snapshot intact until the *next* snapshot lands.
+
+Snapshots are written atomically (tmp file + rename) and versioned by a
+monotonically increasing generation number.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+
+from repro.util.errors import RecoveryError
+
+_SNAPSHOT_NAME = "index.snapshot"
+
+
+class SnapshotManager:
+    """Persists and restores index state dictionaries.
+
+    ``directory=None`` keeps snapshots in memory, which is enough for the
+    crash-injection tests that tear down the index object but not the
+    process.
+    """
+
+    def __init__(self, directory: str | None = None) -> None:
+        self.directory = directory
+        self.generation = 0
+        self._memory_snapshot: bytes | None = None
+        if directory is not None:
+            os.makedirs(directory, exist_ok=True)
+            existing = self._snapshot_path()
+            if os.path.exists(existing):
+                self.generation = self._read_generation(existing)
+
+    def _snapshot_path(self) -> str:
+        assert self.directory is not None
+        return os.path.join(self.directory, _SNAPSHOT_NAME)
+
+    @staticmethod
+    def _read_generation(path: str) -> int:
+        try:
+            with open(path, "rb") as fh:
+                blob = pickle.load(fh)
+            return int(blob.get("generation", 0))
+        except Exception as exc:  # corrupt snapshot is a recovery error
+            raise RecoveryError(f"cannot read snapshot at {path}: {exc}") from exc
+
+    def save(self, state: dict) -> int:
+        """Persist ``state`` atomically; returns the new generation number."""
+        self.generation += 1
+        blob = {"generation": self.generation, "state": state}
+        payload = pickle.dumps(blob, protocol=pickle.HIGHEST_PROTOCOL)
+        if self.directory is None:
+            self._memory_snapshot = payload
+        else:
+            fd, tmp_path = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "wb") as fh:
+                    fh.write(payload)
+                os.replace(tmp_path, self._snapshot_path())
+            finally:
+                if os.path.exists(tmp_path):
+                    os.unlink(tmp_path)
+        return self.generation
+
+    def load(self) -> dict | None:
+        """Return the latest snapshot state, or None if none was taken."""
+        if self.directory is None:
+            if self._memory_snapshot is None:
+                return None
+            blob = pickle.loads(self._memory_snapshot)
+        else:
+            path = self._snapshot_path()
+            if not os.path.exists(path):
+                return None
+            try:
+                with open(path, "rb") as fh:
+                    blob = pickle.load(fh)
+            except Exception as exc:
+                raise RecoveryError(f"corrupt snapshot at {path}: {exc}") from exc
+        self.generation = int(blob["generation"])
+        return blob["state"]
+
+    @property
+    def has_snapshot(self) -> bool:
+        if self.directory is None:
+            return self._memory_snapshot is not None
+        return os.path.exists(self._snapshot_path())

@@ -1,0 +1,112 @@
+"""Write-ahead log for crash recovery (paper §4.4).
+
+Update requests arriving between two snapshots are appended to the WAL;
+recovery replays them on top of the latest snapshot. Records use a compact
+binary framing so the log is append-only and replayable after partial
+writes (a torn tail record is detected and discarded).
+"""
+
+from __future__ import annotations
+
+import io
+import os
+import struct
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from repro.util.errors import RecoveryError
+
+_HEADER = struct.Struct("<BqI")  # op, vector id, payload byte length
+OP_INSERT = 1
+OP_DELETE = 2
+
+
+@dataclass(frozen=True)
+class WalRecord:
+    """One logged update. ``vector`` is None for deletes."""
+
+    op: int
+    vector_id: int
+    vector: np.ndarray | None
+
+    @property
+    def is_insert(self) -> bool:
+        return self.op == OP_INSERT
+
+
+class WriteAheadLog:
+    """Append-only update log, file-backed or in-memory.
+
+    Pass ``path=None`` for an in-memory log (fast tests); a string path gives
+    a durable file that survives reopen — the crash-recovery tests reopen the
+    same path to simulate a restart.
+    """
+
+    def __init__(self, path: str | None = None, sync: bool = False) -> None:
+        self.path = path
+        self.sync = sync
+        self._record_count = 0
+        if path is None:
+            self._fh: io.BufferedRandom | io.BytesIO = io.BytesIO()
+        else:
+            # Append mode keeps existing records (restart after crash).
+            self._fh = open(path, "a+b")
+            self._record_count = sum(1 for _ in self.replay())
+
+    def log_insert(self, vector_id: int, vector: np.ndarray) -> None:
+        payload = np.ascontiguousarray(vector, dtype=np.float32).tobytes()
+        self._append(OP_INSERT, vector_id, payload)
+
+    def log_delete(self, vector_id: int) -> None:
+        self._append(OP_DELETE, vector_id, b"")
+
+    def _append(self, op: int, vector_id: int, payload: bytes) -> None:
+        self._fh.seek(0, os.SEEK_END)
+        self._fh.write(_HEADER.pack(op, vector_id, len(payload)))
+        if payload:
+            self._fh.write(payload)
+        self._fh.flush()
+        if self.sync and self.path is not None:
+            os.fsync(self._fh.fileno())
+        self._record_count += 1
+
+    def replay(self) -> Iterator[WalRecord]:
+        """Yield logged records in order; a torn tail record ends the replay."""
+        self._fh.seek(0)
+        while True:
+            header = self._fh.read(_HEADER.size)
+            if len(header) < _HEADER.size:
+                break  # clean EOF or torn header: stop
+            op, vector_id, nbytes = _HEADER.unpack(header)
+            if op not in (OP_INSERT, OP_DELETE):
+                raise RecoveryError(f"corrupt WAL record: unknown op {op}")
+            payload = self._fh.read(nbytes)
+            if len(payload) < nbytes:
+                break  # torn payload: drop the partial record
+            vector = None
+            if op == OP_INSERT:
+                vector = np.frombuffer(payload, dtype=np.float32).copy()
+            yield WalRecord(op=op, vector_id=vector_id, vector=vector)
+
+    def truncate(self) -> None:
+        """Discard all records (called right after a snapshot lands)."""
+        if self.path is None:
+            self._fh = io.BytesIO()
+        else:
+            self._fh.truncate(0)
+            self._fh.flush()
+        self._record_count = 0
+
+    @property
+    def record_count(self) -> int:
+        return self._record_count
+
+    def size_bytes(self) -> int:
+        self._fh.seek(0, os.SEEK_END)
+        return self._fh.tell()
+
+    def close(self) -> None:
+        if self.path is not None:
+            self._fh.close()

@@ -1,0 +1,42 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised on purpose by this library derives from ``ReproError``
+so callers can catch library failures without masking programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigError(ReproError):
+    """An invalid or inconsistent configuration value was supplied."""
+
+
+class StorageError(ReproError):
+    """Block-device or block-controller level failure (bad id, no space)."""
+
+
+class OutOfSpaceError(StorageError):
+    """The simulated SSD has no free blocks left."""
+
+
+class IndexError_(ReproError):
+    """Vector-index level failure (unknown posting, duplicate vector id).
+
+    Named with a trailing underscore to avoid shadowing the builtin.
+    """
+
+
+class StalePostingError(IndexError_):
+    """A posting was deleted concurrently while an operation targeted it.
+
+    Mirrors the paper's "posting-missing" case during concurrent reassigns;
+    callers abort and re-execute the job (§4.2.2).
+    """
+
+
+class RecoveryError(ReproError):
+    """Snapshot/WAL recovery could not restore a consistent state."""

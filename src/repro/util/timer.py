@@ -1,0 +1,42 @@
+"""Small timing helpers used by the bench harness and tests."""
+
+from __future__ import annotations
+
+import time
+
+
+class Stopwatch:
+    """Accumulating wall-clock stopwatch.
+
+    Usage::
+
+        sw = Stopwatch()
+        with sw:
+            do_work()
+        print(sw.elapsed_s)
+
+    The stopwatch accumulates across multiple ``with`` blocks, which is what
+    the bench harness needs when timing many small operations.
+    """
+
+    def __init__(self) -> None:
+        self.elapsed_s = 0.0
+        self._start: float | None = None
+
+    def __enter__(self) -> "Stopwatch":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self._start is not None:
+            self.elapsed_s += time.perf_counter() - self._start
+            self._start = None
+
+    def reset(self) -> None:
+        """Zero the accumulated time."""
+        self.elapsed_s = 0.0
+        self._start = None
+
+    @property
+    def elapsed_ms(self) -> float:
+        return self.elapsed_s * 1e3

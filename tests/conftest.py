@@ -1,0 +1,73 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import SPFreshConfig
+from repro.core.index import SPFreshIndex
+from repro.storage.controller import BlockController
+from repro.storage.layout import PostingCodec
+from repro.storage.ssd import SimulatedSSD, SSDProfile
+
+DIM = 16
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def vectors(rng) -> np.ndarray:
+    """Clustered vectors: 4 well-separated Gaussian blobs."""
+    centers = rng.normal(scale=6.0, size=(4, DIM)).astype(np.float32)
+    assignment = rng.integers(0, 4, size=400)
+    return (centers[assignment] + rng.normal(scale=0.5, size=(400, DIM))).astype(
+        np.float32
+    )
+
+
+@pytest.fixture
+def small_config() -> SPFreshConfig:
+    return SPFreshConfig(
+        dim=DIM,
+        max_posting_size=32,
+        min_posting_size=3,
+        build_target_posting_size=16,
+        ssd_blocks=1 << 13,
+        reassign_range=8,
+        seed=7,
+    )
+
+
+@pytest.fixture
+def built_index(vectors, small_config) -> SPFreshIndex:
+    return SPFreshIndex.build(vectors, config=small_config)
+
+
+@pytest.fixture
+def ssd() -> SimulatedSSD:
+    return SimulatedSSD(num_blocks=256, profile=SSDProfile(block_size=512))
+
+
+@pytest.fixture
+def codec() -> PostingCodec:
+    return PostingCodec(dim=DIM, block_size=512)
+
+
+@pytest.fixture
+def controller(ssd, codec) -> BlockController:
+    return BlockController(ssd, codec)
+
+
+def make_posting(rng, n: int, dim: int = DIM, id_start: int = 0):
+    """Random PostingData helper used across storage tests."""
+    from repro.storage.layout import PostingData
+
+    return PostingData.from_rows(
+        ids=np.arange(id_start, id_start + n, dtype=np.int64),
+        versions=rng.integers(0, 100, size=n).astype(np.uint8),
+        vectors=rng.normal(size=(n, dim)).astype(np.float32),
+    )

@@ -1,0 +1,120 @@
+"""Tests for the series-analysis helpers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    comparison_report,
+    detect_spikes,
+    series_stats,
+    stability_verdict,
+    to_arrays,
+    trend_slope,
+)
+from repro.bench.harness import DayMetrics
+
+
+def make_day(day, recall=0.9, p999=1000.0, insert=100.0, memory=1.0):
+    return DayMetrics(
+        day=day,
+        recall=recall,
+        search_p50_us=p999 / 2,
+        search_p90_us=p999 * 0.8,
+        search_p95_us=p999 * 0.9,
+        search_p99_us=p999 * 0.95,
+        search_p999_us=p999,
+        insert_mean_us=insert,
+        insert_p999_us=insert * 2,
+        insert_wall_qps=1000,
+        search_wall_qps=1000,
+        memory_mb=memory,
+        device_iops=10_000,
+        live_vectors=5000,
+    )
+
+
+class TestTrendSlope:
+    def test_flat(self):
+        assert trend_slope([5.0, 5.0, 5.0, 5.0]) == pytest.approx(0.0)
+
+    def test_growth(self):
+        # +1 per day on mean 11.5: slope/mean ≈ 0.087
+        slope = trend_slope(np.arange(10, 14, dtype=float))
+        assert slope == pytest.approx(1 / 11.5, rel=1e-6)
+
+    def test_decline_is_negative(self):
+        assert trend_slope([10.0, 8.0, 6.0, 4.0]) < 0
+
+    def test_short_series(self):
+        assert trend_slope([3.0]) == 0.0
+
+    def test_zero_mean(self):
+        assert trend_slope([0.0, 0.0]) == 0.0
+
+
+class TestSpikes:
+    def test_finds_isolated_spike(self):
+        values = [1.0, 1.0, 1.1, 9.0, 1.0, 0.9]
+        assert detect_spikes(values) == [3]
+
+    def test_no_spikes_on_flat(self):
+        assert detect_spikes([2.0] * 10) == []
+
+    def test_multiple_spikes_not_masked(self):
+        values = [1.0, 10.0, 1.0, 10.0, 1.0, 1.0]
+        assert detect_spikes(values) == [1, 3]
+
+    def test_short_series(self):
+        assert detect_spikes([1.0, 100.0]) == []
+
+
+class TestSeriesStats:
+    def test_stable_series(self):
+        stats = series_stats([4.0, 4.1, 3.9, 4.0, 4.05])
+        assert stats.is_stable
+        assert stats.mean == pytest.approx(4.01, abs=0.01)
+
+    def test_spiky_series_not_stable(self):
+        stats = series_stats([1.0, 1.0, 20.0, 1.0, 1.0])
+        assert not stats.is_stable
+        assert stats.spike_days == (2,)
+
+    def test_growing_series_not_stable(self):
+        stats = series_stats(np.linspace(1, 3, 10))
+        assert not stats.is_stable
+        assert stats.slope_per_day > 0.02
+
+    def test_empty(self):
+        stats = series_stats([])
+        assert stats.mean == 0.0 and stats.is_stable
+
+
+class TestVerdicts:
+    def test_stable(self):
+        assert stability_verdict([5.0, 5.0, 5.1, 4.9]) == "stable"
+
+    def test_spiky(self):
+        assert "spiky" in stability_verdict([1, 1, 1, 30, 1, 1])
+
+    def test_growing(self):
+        assert "growing" in stability_verdict(np.linspace(1, 2, 8))
+
+    def test_degrading(self):
+        assert "degrading" in stability_verdict(np.linspace(2, 1, 8))
+
+
+class TestReport:
+    def test_to_arrays(self):
+        series = [make_day(i, recall=0.9 + 0.001 * i) for i in range(5)]
+        arrays = to_arrays(series, ["recall", "memory_mb"])
+        assert arrays["recall"].shape == (5,)
+        assert arrays["memory_mb"][0] == 1.0
+
+    def test_comparison_report_renders(self):
+        stable = [make_day(i) for i in range(6)]
+        spiky = [
+            make_day(i, p999=20_000.0 if i % 3 == 2 else 1000.0) for i in range(6)
+        ]
+        report = comparison_report({"SPFresh": stable, "DiskANN": spiky})
+        assert "SPFresh" in report and "DiskANN" in report
+        assert "stable" in report and "spiky" in report

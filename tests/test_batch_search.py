@@ -1,0 +1,45 @@
+"""Tests for the batched multi-query search path."""
+
+import numpy as np
+import pytest
+
+
+class TestSearchBatch:
+    def test_matches_single_query_results(self, built_index, vectors):
+        queries = vectors[:10] + 0.01
+        batch = built_index.search_batch(queries, 5, nprobe=8)
+        singles = [built_index.search(q, 5, nprobe=8) for q in queries]
+        assert len(batch) == 10
+        for b, s in zip(batch, singles):
+            assert set(map(int, b.ids)) == set(map(int, s.ids))
+            np.testing.assert_allclose(b.distances, s.distances, rtol=1e-5)
+
+    def test_shared_io_cheaper_than_serial(self, built_index, vectors):
+        queries = vectors[:12] + 0.01
+        batch = built_index.search_batch(queries, 5, nprobe=8)
+        serial_io = sum(
+            built_index.search(q, 5, nprobe=8).io_latency_us for q in queries
+        )
+        # Every batch result carries the single shared submission latency.
+        shared_io = batch[0].io_latency_us
+        assert all(r.io_latency_us == shared_io for r in batch)
+        assert shared_io < serial_io
+
+    def test_respects_tombstones(self, built_index, vectors):
+        built_index.delete(2)
+        results = built_index.search_batch(vectors[:4], 10, nprobe=built_index.num_postings)
+        assert 2 not in set(map(int, results[2].ids))
+
+    def test_empty_batch(self, built_index):
+        assert built_index.search_batch(np.empty((0, 16), dtype=np.float32), 5) == []
+
+    def test_single_query_batch(self, built_index, vectors):
+        results = built_index.search_batch(vectors[:1], 3)
+        assert len(results) == 1
+        assert len(results[0]) == 3
+
+    def test_latency_components(self, built_index, vectors):
+        results = built_index.search_batch(vectors[:5], 5, nprobe=4)
+        for r in results:
+            assert r.latency_us >= r.io_latency_us
+            assert r.entries_scanned > 0

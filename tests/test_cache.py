@@ -1,0 +1,107 @@
+"""Tests for the LRU posting cache."""
+
+import numpy as np
+import pytest
+
+from repro.storage.cache import CachedBlockController
+from tests.conftest import make_posting
+
+
+@pytest.fixture
+def cached(controller, rng):
+    for pid in range(8):
+        controller.put(pid, make_posting(rng, 5 + pid, id_start=pid * 100))
+    return CachedBlockController(controller, capacity=4)
+
+
+class TestReadPath:
+    def test_miss_then_hit(self, cached):
+        data1, lat1 = cached.get(0)
+        data2, lat2 = cached.get(0)
+        assert cached.hits == 1 and cached.misses == 1
+        assert lat2 == cached.hit_latency_us
+        assert lat2 < lat1
+        np.testing.assert_array_equal(data1.ids, data2.ids)
+
+    def test_parallel_get_mixed(self, cached):
+        cached.get(1)
+        out, latency = cached.parallel_get([1, 2, 3])
+        assert set(out.keys()) == {1, 2, 3}
+        assert cached.hits == 1  # pid 1 hit inside parallel_get
+        assert latency > cached.hit_latency_us  # device fetch for 2, 3
+
+    def test_all_cached_parallel_get(self, cached):
+        cached.parallel_get([1, 2])
+        _, latency = cached.parallel_get([1, 2])
+        assert latency == cached.hit_latency_us
+
+    def test_hit_rate(self, cached):
+        cached.get(0)
+        cached.get(0)
+        cached.get(0)
+        assert cached.hit_rate == pytest.approx(2 / 3)
+
+    def test_lru_eviction(self, cached):
+        for pid in range(5):  # capacity 4: pid 0 evicted
+            cached.get(pid)
+        assert cached.cached_postings == 4
+        cached.get(0)
+        assert cached.misses == 6  # 5 initial + re-miss of evicted 0
+
+
+class TestWriteInvalidation:
+    def test_append_invalidates(self, cached, rng):
+        cached.get(0)
+        cached.append(0, make_posting(rng, 2, id_start=9000))
+        data, _ = cached.get(0)
+        assert 9000 in set(int(i) for i in data.ids)
+
+    def test_put_invalidates(self, cached, rng):
+        cached.get(1)
+        fresh = make_posting(rng, 3, id_start=7000)
+        cached.put(1, fresh)
+        data, _ = cached.get(1)
+        np.testing.assert_array_equal(data.ids, fresh.ids)
+
+    def test_delete_invalidates(self, cached):
+        cached.get(2)
+        cached.delete(2)
+        assert not cached.exists(2)
+        out, _ = cached.parallel_get([2])
+        assert out == {}
+
+    def test_clear(self, cached):
+        cached.get(0)
+        cached.clear()
+        assert cached.cached_postings == 0
+
+
+class TestDelegation:
+    def test_metadata_passthrough(self, cached):
+        assert cached.num_postings == 8
+        assert cached.length(3) == 8
+        assert cached.exists(7)
+
+    def test_memory_model(self, cached):
+        assert cached.memory_bytes() == 0
+        cached.get(0)
+        assert cached.memory_bytes() > 0
+
+    def test_invalid_capacity(self, controller):
+        with pytest.raises(ValueError):
+            CachedBlockController(controller, capacity=0)
+
+
+class TestWithSearcher:
+    def test_cached_searches_reduce_device_reads(self, built_index, vectors):
+        cached = CachedBlockController(built_index.controller, capacity=512)
+        built_index.searcher.controller = cached
+        io_before = built_index.ssd.stats.snapshot()
+        for _ in range(5):
+            built_index.search(vectors[0], 5, nprobe=8)
+        window = built_index.ssd.stats.snapshot().delta(io_before)
+        # Only the first query's postings hit the device.
+        assert cached.hit_rate > 0.5
+        assert window.block_reads <= window.block_reads  # sanity
+        result = built_index.search(vectors[0], 5, nprobe=8)
+        assert result.io_latency_us == cached.hit_latency_us

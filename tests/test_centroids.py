@@ -1,0 +1,171 @@
+"""Tests for the centroid indexes: brute-force and NSW graph."""
+
+import numpy as np
+import pytest
+
+from repro.centroids import (
+    BruteForceCentroidIndex,
+    GraphCentroidIndex,
+    make_centroid_index,
+)
+from repro.util.distance import pairwise_sq_l2
+from repro.util.errors import IndexError_
+
+DIM = 8
+
+
+def fill(index, rng, n=50):
+    centroids = rng.normal(size=(n, DIM)).astype(np.float32)
+    for pid, c in enumerate(centroids):
+        index.add(pid, c)
+    return centroids
+
+
+@pytest.fixture(params=["brute", "graph", "bkt"])
+def index(request):
+    return make_centroid_index(request.param, DIM)
+
+
+class TestCommonBehaviour:
+    def test_add_contains_len(self, index, rng):
+        fill(index, rng, 10)
+        assert len(index) == 10
+        assert 3 in index
+        assert 99 not in index
+
+    def test_duplicate_add_rejected(self, index, rng):
+        index.add(1, rng.normal(size=DIM).astype(np.float32))
+        with pytest.raises(IndexError_):
+            index.add(1, rng.normal(size=DIM).astype(np.float32))
+
+    def test_get_roundtrip(self, index, rng):
+        c = rng.normal(size=DIM).astype(np.float32)
+        index.add(7, c)
+        np.testing.assert_array_equal(index.get(7), c)
+
+    def test_get_missing(self, index):
+        with pytest.raises(IndexError_):
+            index.get(0)
+
+    def test_remove(self, index, rng):
+        fill(index, rng, 5)
+        index.remove(2)
+        assert 2 not in index
+        assert len(index) == 4
+        with pytest.raises(IndexError_):
+            index.remove(2)
+
+    def test_search_empty(self, index):
+        result = index.search(np.zeros(DIM, dtype=np.float32), 5)
+        assert len(result) == 0
+
+    def test_search_k_zero(self, index, rng):
+        fill(index, rng, 5)
+        assert len(index.search(np.zeros(DIM, dtype=np.float32), 0)) == 0
+
+    def test_search_returns_ascending_distances(self, index, rng):
+        fill(index, rng, 30)
+        result = index.search(rng.normal(size=DIM).astype(np.float32), 10)
+        assert list(result.distances) == sorted(result.distances)
+
+    def test_nearest_property(self, index, rng):
+        centroids = fill(index, rng, 20)
+        result = index.search(centroids[4], 3)
+        assert result.nearest == 4
+
+    def test_items_and_state_roundtrip(self, index, rng):
+        centroids = fill(index, rng, 12)
+        state = index.state_dict()
+        fresh = type(index)(DIM)
+        fresh.load_state_dict(state)
+        assert len(fresh) == 12
+        np.testing.assert_array_equal(fresh.get(5), centroids[5])
+
+    def test_memory_positive(self, index, rng):
+        fill(index, rng, 8)
+        assert index.memory_bytes() > 0
+
+
+class TestBruteForceExactness:
+    def test_matches_exhaustive(self, rng):
+        index = BruteForceCentroidIndex(DIM)
+        centroids = fill(index, rng, 64)
+        query = rng.normal(size=DIM).astype(np.float32)
+        result = index.search(query, 8)
+        exact = pairwise_sq_l2(query.reshape(1, -1), centroids).ravel()
+        expected = np.argsort(exact, kind="stable")[:8]
+        np.testing.assert_array_equal(result.posting_ids, expected)
+
+    def test_row_recycling(self, rng):
+        index = BruteForceCentroidIndex(DIM)
+        fill(index, rng, 10)
+        for pid in range(10):
+            index.remove(pid)
+        # Re-adding reuses freed rows; matrix should not grow.
+        cap_before = index.memory_bytes()
+        for pid in range(10, 20):
+            index.add(pid, rng.normal(size=DIM).astype(np.float32))
+        assert index.memory_bytes() == cap_before
+
+    def test_growth_beyond_initial_capacity(self, rng):
+        index = BruteForceCentroidIndex(DIM)
+        fill(index, rng, 200)  # > initial 64 rows
+        assert len(index) == 200
+        assert index.search(index.get(150), 1).nearest == 150
+
+
+class TestGraphQuality:
+    def test_high_recall_vs_brute(self, rng):
+        graph = GraphCentroidIndex(DIM, m=12, ef_search=64)
+        brute = BruteForceCentroidIndex(DIM)
+        centroids = rng.normal(size=(300, DIM)).astype(np.float32)
+        for pid, c in enumerate(centroids):
+            graph.add(pid, c)
+            brute.add(pid, c)
+        hits = total = 0
+        for query in rng.normal(size=(30, DIM)).astype(np.float32):
+            g = set(int(p) for p in graph.search(query, 10).posting_ids)
+            b = set(int(p) for p in brute.search(query, 10).posting_ids)
+            hits += len(g & b)
+            total += len(b)
+        assert hits / total > 0.85
+
+    def test_survives_heavy_churn(self, rng):
+        graph = GraphCentroidIndex(DIM, m=8)
+        centroids = fill(graph, rng, 100)
+        for pid in range(0, 100, 2):
+            graph.remove(pid)
+        for pid in range(100, 150):
+            graph.add(pid, rng.normal(size=DIM).astype(np.float32))
+        assert len(graph) == 100
+        result = graph.search(centroids[1], 5)
+        assert len(result) == 5
+
+    def test_remove_entry_point(self, rng):
+        graph = GraphCentroidIndex(DIM)
+        fill(graph, rng, 5)
+        graph.remove(0)  # 0 was the entry point
+        assert len(graph.search(np.zeros(DIM, dtype=np.float32), 3)) == 3
+
+    def test_remove_all_then_reuse(self, rng):
+        graph = GraphCentroidIndex(DIM)
+        fill(graph, rng, 5)
+        for pid in range(5):
+            graph.remove(pid)
+        assert len(graph) == 0
+        graph.add(9, np.ones(DIM, dtype=np.float32))
+        assert graph.search(np.ones(DIM, dtype=np.float32), 1).nearest == 9
+
+    def test_degree_bounded(self, rng):
+        graph = GraphCentroidIndex(DIM, m=6)
+        fill(graph, rng, 200)
+        assert graph.edge_count() <= 200 * 12  # 2m slack cap
+
+    def test_invalid_m(self):
+        with pytest.raises(ValueError):
+            GraphCentroidIndex(DIM, m=1)
+
+
+def test_factory_rejects_unknown_kind():
+    with pytest.raises(ValueError):
+        make_centroid_index("fancy", DIM)

@@ -1,0 +1,163 @@
+"""Tests for k-means, balanced clustering, and the hierarchical build."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.clustering.balanced import balanced_kmeans, split_in_two
+from repro.clustering.hierarchical import hierarchical_balanced_clustering
+from repro.clustering.kmeans import kmeans, kmeans_plus_plus_init
+
+
+def blobs(rng, n_per=50, k=4, dim=8, spread=10.0):
+    centers = rng.normal(scale=spread, size=(k, dim)).astype(np.float32)
+    points = np.vstack(
+        [c + rng.normal(scale=0.5, size=(n_per, dim)) for c in centers]
+    ).astype(np.float32)
+    return points, centers
+
+
+class TestKMeansInit:
+    def test_returns_k_rows(self, rng):
+        points, _ = blobs(rng)
+        init = kmeans_plus_plus_init(points, 4, rng)
+        assert init.shape == (4, 8)
+
+    def test_k_capped_at_n(self, rng):
+        points = rng.normal(size=(3, 8)).astype(np.float32)
+        init = kmeans_plus_plus_init(points, 10, rng)
+        assert init.shape == (3, 8)
+
+    def test_duplicate_points_ok(self, rng):
+        points = np.ones((10, 4), dtype=np.float32)
+        init = kmeans_plus_plus_init(points, 3, rng)
+        assert init.shape == (3, 4)
+
+    def test_empty_raises(self, rng):
+        with pytest.raises(ValueError):
+            kmeans_plus_plus_init(np.empty((0, 4), np.float32), 2, rng)
+
+
+class TestKMeans:
+    def test_recovers_separated_blobs(self, rng):
+        points, centers = blobs(rng, spread=20.0)
+        fitted, assignments = kmeans(points, 4, rng)
+        # Each fitted centroid should be near one true center.
+        for c in fitted:
+            nearest = np.min(np.linalg.norm(centers - c, axis=1))
+            assert nearest < 2.0
+        assert len(np.unique(assignments)) == 4
+
+    def test_all_clusters_nonempty(self, rng):
+        points, _ = blobs(rng)
+        _, assignments = kmeans(points, 7, rng)
+        assert len(np.unique(assignments)) == 7
+
+    def test_k_zero(self, rng):
+        c, a = kmeans(np.empty((0, 4), np.float32), 3, rng)
+        assert len(c) == 0 and len(a) == 0
+
+    def test_assignment_is_nearest_centroid(self, rng):
+        points, _ = blobs(rng, spread=15.0)
+        centroids, assignments = kmeans(points, 4, rng)
+        dists = np.linalg.norm(points[:, None] - centroids[None], axis=2)
+        np.testing.assert_array_equal(assignments, dists.argmin(axis=1))
+
+
+class TestBalancedKMeans:
+    def test_balance_beats_plain_on_skewed_data(self, rng):
+        # 90% of mass in one blob: plain k-means gives wildly uneven sizes.
+        a = rng.normal(size=(450, 8)).astype(np.float32)
+        b = rng.normal(loc=20.0, size=(50, 8)).astype(np.float32)
+        points = np.vstack([a, b])
+        _, balanced = balanced_kmeans(points, 5, rng, balance_weight=8.0)
+        counts = np.bincount(balanced, minlength=5)
+        assert counts.max() / max(counts.min(), 1) < 4.0
+
+    def test_zero_weight_degenerates_gracefully(self, rng):
+        points, _ = blobs(rng)
+        centroids, assignments = balanced_kmeans(points, 4, rng, balance_weight=0.0)
+        assert centroids.shape == (4, 8)
+        assert len(assignments) == len(points)
+
+    def test_deterministic_given_rng_seed(self):
+        points, _ = blobs(np.random.default_rng(0))
+        c1, a1 = balanced_kmeans(points, 4, np.random.default_rng(5))
+        c2, a2 = balanced_kmeans(points, 4, np.random.default_rng(5))
+        np.testing.assert_array_equal(a1, a2)
+        np.testing.assert_array_equal(c1, c2)
+
+
+class TestSplitInTwo:
+    def test_two_nonempty_balanced_halves(self, rng):
+        points, _ = blobs(rng, n_per=40, k=2, spread=15.0)
+        centroids, assignments = split_in_two(points, rng)
+        counts = np.bincount(assignments, minlength=2)
+        assert counts.min() > 0
+        assert centroids.shape == (2, 8)
+        # Well-separated blobs should split nearly evenly.
+        assert counts.max() / counts.min() < 1.6
+
+    def test_identical_points_force_even_split(self, rng):
+        points = np.ones((10, 4), dtype=np.float32)
+        centroids, assignments = split_in_two(points, rng)
+        counts = np.bincount(assignments, minlength=2)
+        assert counts.min() == 5
+
+    def test_too_few_points(self, rng):
+        with pytest.raises(ValueError):
+            split_in_two(np.ones((1, 4), dtype=np.float32), rng)
+
+    @given(st.integers(2, 60))
+    @settings(max_examples=20, deadline=None)
+    def test_split_always_makes_progress(self, n):
+        """Both halves non-empty for any input: required for LIRE's
+        convergence argument (every split grows |C| by one)."""
+        rng = np.random.default_rng(n)
+        points = rng.normal(size=(n, 4)).astype(np.float32)
+        _, assignments = split_in_two(points, rng)
+        counts = np.bincount(assignments, minlength=2)
+        assert counts.min() >= 1
+
+
+class TestHierarchical:
+    def test_leaf_size_bound(self, rng):
+        points, _ = blobs(rng, n_per=100)
+        leaves = hierarchical_balanced_clustering(points, 25, rng)
+        assert all(len(leaf.member_indices) <= 25 for leaf in leaves)
+
+    def test_partition_exact(self, rng):
+        points, _ = blobs(rng, n_per=60)
+        leaves = hierarchical_balanced_clustering(points, 30, rng)
+        all_members = np.concatenate([leaf.member_indices for leaf in leaves])
+        assert sorted(all_members) == list(range(len(points)))
+
+    def test_centroid_is_member_mean(self, rng):
+        points, _ = blobs(rng, n_per=30)
+        leaves = hierarchical_balanced_clustering(points, 20, rng)
+        for leaf in leaves[:5]:
+            np.testing.assert_allclose(
+                leaf.centroid,
+                points[leaf.member_indices].mean(axis=0),
+                rtol=1e-4,
+                atol=1e-4,
+            )
+
+    def test_duplicate_heavy_data_terminates(self, rng):
+        points = np.ones((200, 4), dtype=np.float32)
+        leaves = hierarchical_balanced_clustering(points, 16, rng)
+        assert sum(len(leaf.member_indices) for leaf in leaves) == 200
+        assert all(len(leaf.member_indices) <= 16 for leaf in leaves)
+
+    def test_small_input_single_leaf(self, rng):
+        points = rng.normal(size=(5, 4)).astype(np.float32)
+        leaves = hierarchical_balanced_clustering(points, 16, rng)
+        assert len(leaves) == 1
+
+    def test_invalid_params(self, rng):
+        points = rng.normal(size=(5, 4)).astype(np.float32)
+        with pytest.raises(ValueError):
+            hierarchical_balanced_clustering(points, 0, rng)
+        with pytest.raises(ValueError):
+            hierarchical_balanced_clustering(points, 4, rng, branch_factor=1)

@@ -1,0 +1,103 @@
+"""Tests for the two NPA necessary conditions (paper §3.3, Eq. 1 & 2)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.conditions import condition_one_mask, condition_two_mask
+from repro.util.distance import sq_l2
+
+DIM = 4
+coords = st.floats(-50, 50, allow_nan=False, allow_infinity=False, width=32)
+
+
+def points(n_max=20):
+    return hnp.arrays(
+        np.float32, st.tuples(st.integers(1, n_max), st.just(DIM)), elements=coords
+    )
+
+
+def vector():
+    return hnp.arrays(np.float32, (DIM,), elements=coords)
+
+
+class TestConditionOne:
+    def test_paper_geometry(self):
+        """The yellow dot of Figure 4: old centroid closer than both new."""
+        old = np.array([0.0, 0.0, 0, 0], dtype=np.float32)
+        new = np.array([[-3.0, 0, 0, 0], [3.0, 0, 0, 0]], dtype=np.float32)
+        vectors = np.array(
+            [
+                [0.0, 1.0, 0, 0],  # nearer old than either new -> candidate
+                [-3.0, 0.1, 0, 0],  # right next to new centroid 0 -> safe
+            ],
+            dtype=np.float32,
+        )
+        mask = condition_one_mask(vectors, old, new)
+        assert list(mask) == [True, False]
+
+    def test_empty(self):
+        old = np.zeros(DIM, dtype=np.float32)
+        new = np.zeros((2, DIM), dtype=np.float32)
+        assert condition_one_mask(np.empty((0, DIM), np.float32), old, new).shape == (0,)
+
+    @given(points(), vector(), points(3))
+    @settings(max_examples=40)
+    def test_matches_definition(self, vectors, old, new):
+        mask = condition_one_mask(vectors, old, new)
+        for i, v in enumerate(vectors):
+            d_old = sq_l2(v, old)
+            d_new = min(sq_l2(v, c) for c in new)
+            # Allow fp slack at the boundary: equality cases may go either
+            # way, but strict orderings must agree with the mask.
+            if d_old < d_new * (1 - 1e-5) - 1e-4:
+                assert mask[i]
+            elif d_old > d_new * (1 + 1e-5) + 1e-4:
+                assert not mask[i]
+
+
+class TestConditionTwo:
+    def test_paper_geometry(self):
+        """The green dot of Figure 4: a new centroid moved closer than old."""
+        old = np.array([0.0, 0.0, 0, 0], dtype=np.float32)
+        new = np.array([[-3.0, 0, 0, 0], [3.0, 0, 0, 0]], dtype=np.float32)
+        vectors = np.array(
+            [
+                [4.0, 0.5, 0, 0],  # new centroid A2 is closer than old -> check
+                [0.0, 0.5, 0, 0],  # old was closest; new ones are worse -> skip
+            ],
+            dtype=np.float32,
+        )
+        mask = condition_two_mask(vectors, old, new)
+        assert list(mask) == [True, False]
+
+    @given(points(), vector(), points(3))
+    @settings(max_examples=40)
+    def test_matches_definition(self, vectors, old, new):
+        mask = condition_two_mask(vectors, old, new)
+        for i, v in enumerate(vectors):
+            d_old = sq_l2(v, old)
+            d_new = min(sq_l2(v, c) for c in new)
+            if d_new < d_old * (1 - 1e-5) - 1e-4:
+                assert mask[i]
+            elif d_new > d_old * (1 + 1e-5) + 1e-4:
+                assert not mask[i]
+
+
+class TestConditionsComplementarity:
+    @given(points(), vector(), points(3))
+    @settings(max_examples=40)
+    def test_union_covers_everything(self, vectors, old, new):
+        """Every vector satisfies at least one condition (<= or >= covers all),
+        which is why the pair is *necessary*: no NPA violation escapes both."""
+        one = condition_one_mask(vectors, old, new)
+        two = condition_two_mask(vectors, old, new)
+        assert (one | two).all()
+
+    def test_overlap_exactly_at_ties(self):
+        old = np.zeros(DIM, dtype=np.float32)
+        new = np.array([[2.0, 0, 0, 0], [-2.0, 0, 0, 0]], dtype=np.float32)
+        tie = np.array([[1.0, 0, 0, 0]], dtype=np.float32)  # equidistant
+        assert condition_one_mask(tie, old, new)[0]
+        assert condition_two_mask(tie, old, new)[0]

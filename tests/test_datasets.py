@@ -1,0 +1,162 @@
+"""Tests for synthetic datasets, ground truth, and workloads."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    GroundTruthTracker,
+    exact_knn,
+    make_sift_like,
+    make_spacev_like,
+    make_workload,
+    workload_a,
+    workload_b,
+    workload_c,
+)
+from repro.datasets.synthetic import make_clustered
+
+
+class TestGenerators:
+    def test_shapes(self):
+        ds = make_sift_like(500, 100, dim=16, n_clusters=8, seed=3)
+        assert ds.base.shape == (500, 16)
+        assert ds.pool.shape == (100, 16)
+        assert ds.base.dtype == np.float32
+        assert ds.dim == 16
+
+    def test_deterministic_by_seed(self):
+        a = make_sift_like(100, 10, dim=8, seed=5)
+        b = make_sift_like(100, 10, dim=8, seed=5)
+        np.testing.assert_array_equal(a.base, b.base)
+        np.testing.assert_array_equal(a.pool, b.pool)
+
+    def test_seeds_differ(self):
+        a = make_sift_like(100, 0, dim=8, seed=1)
+        b = make_sift_like(100, 0, dim=8, seed=2)
+        assert not np.array_equal(a.base, b.base)
+
+    def test_sift_like_is_roughly_uniform(self):
+        ds = make_sift_like(4000, 0, dim=8, n_clusters=8, seed=0)
+        counts = np.bincount(ds.base_cluster, minlength=8)
+        assert counts.max() / counts.min() < 1.6
+
+    def test_spacev_like_is_skewed(self):
+        ds = make_spacev_like(4000, 0, dim=8, n_clusters=8, seed=0)
+        counts = np.bincount(ds.base_cluster, minlength=8)
+        assert counts.max() / max(counts.min(), 1) > 3.0
+
+    def test_spacev_pool_distribution_shifts(self):
+        ds = make_spacev_like(4000, 4000, dim=8, n_clusters=8, seed=0)
+        base_counts = np.bincount(ds.base_cluster, minlength=8) / 4000
+        pool_counts = np.bincount(ds.pool_cluster, minlength=8) / 4000
+        # Total variation distance must be substantial (distribution shift).
+        tv = 0.5 * np.abs(base_counts - pool_counts).sum()
+        assert tv > 0.2
+
+    def test_sift_pool_matches_base_distribution(self):
+        ds = make_sift_like(4000, 4000, dim=8, n_clusters=8, seed=0)
+        base_counts = np.bincount(ds.base_cluster, minlength=8) / 4000
+        pool_counts = np.bincount(ds.pool_cluster, minlength=8) / 4000
+        tv = 0.5 * np.abs(base_counts - pool_counts).sum()
+        assert tv < 0.1
+
+    def test_invalid_sizes(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            make_clustered(0, 0, 8, 4, rng)
+
+    def test_zero_pool_allowed(self):
+        ds = make_sift_like(100, 0, dim=8)
+        assert len(ds.pool) == 0
+
+
+class TestExactKnn:
+    def test_self_is_nearest(self, rng):
+        base = rng.normal(size=(100, 8)).astype(np.float32)
+        gt = exact_knn(base, np.arange(100), base[:5], k=3)
+        assert list(gt[:, 0]) == [0, 1, 2, 3, 4]
+
+    def test_respects_custom_ids(self, rng):
+        base = rng.normal(size=(20, 4)).astype(np.float32)
+        ids = np.arange(100, 120)
+        gt = exact_knn(base, ids, base[:2], k=1)
+        assert gt[0, 0] == 100 and gt[1, 0] == 101
+
+    def test_k_capped(self, rng):
+        base = rng.normal(size=(3, 4)).astype(np.float32)
+        gt = exact_knn(base, np.arange(3), base[:1], k=10)
+        assert gt.shape == (1, 3)
+
+    def test_chunked_matches_unchunked(self, rng):
+        base = rng.normal(size=(50, 4)).astype(np.float32)
+        queries = rng.normal(size=(10, 4)).astype(np.float32)
+        a = exact_knn(base, np.arange(50), queries, 5, chunk_size=3)
+        b = exact_knn(base, np.arange(50), queries, 5, chunk_size=1000)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestGroundTruthTracker:
+    def test_tracks_inserts_and_deletes(self, rng):
+        base = rng.normal(size=(10, 4)).astype(np.float32)
+        tracker = GroundTruthTracker(np.arange(10), base)
+        assert tracker.live_count == 10
+        tracker.delete(0)
+        tracker.insert(50, base[0])
+        assert tracker.live_count == 10
+        gt = tracker.ground_truth(base[:1], 1)
+        assert gt[0, 0] == 50  # the re-inserted copy of vector 0
+
+    def test_empty_tracker(self):
+        tracker = GroundTruthTracker(np.empty(0, np.int64), np.empty((0, 4), np.float32))
+        gt = tracker.ground_truth(np.zeros((2, 4), dtype=np.float32), 3)
+        assert gt.shape == (2, 0)
+
+    def test_mismatched_lengths(self, rng):
+        with pytest.raises(ValueError):
+            GroundTruthTracker(np.arange(3), rng.normal(size=(2, 4)))
+
+
+class TestWorkloads:
+    def test_epoch_accounting(self):
+        wl = workload_b(n_base=500, days=4, daily_rate=0.02, dim=8, num_queries=10)
+        assert wl.days == 4
+        per_day = round(500 * 0.02)
+        for epoch in wl.epochs:
+            assert len(epoch.delete_ids) == per_day
+            assert len(epoch.insert_ids) == per_day
+            assert epoch.num_updates == 2 * per_day
+
+    def test_live_set_is_consistent(self):
+        wl = workload_a(n_base=400, days=5, daily_rate=0.05, dim=8, num_queries=5)
+        live = set(int(i) for i in wl.base_ids)
+        for epoch in wl.epochs:
+            for vid in epoch.delete_ids:
+                assert int(vid) in live
+                live.discard(int(vid))
+            for vid in epoch.insert_ids:
+                assert int(vid) not in live
+                live.add(int(vid))
+        assert len(live) == 400  # 1-in-1-out churn preserves cardinality
+
+    def test_insert_ids_globally_unique(self):
+        wl = workload_b(n_base=300, days=6, daily_rate=0.03, dim=8, num_queries=5)
+        seen = set()
+        for epoch in wl.epochs:
+            for vid in epoch.insert_ids:
+                assert vid not in seen
+                seen.add(int(vid))
+
+    def test_pool_exhaustion_rejected(self):
+        ds = make_sift_like(100, 10, dim=8)
+        with pytest.raises(ValueError):
+            make_workload(ds, "x", days=100, daily_rate=0.5, num_queries=5)
+
+    def test_workload_c_variants(self):
+        uniform = workload_c(n_base=300, days=2, dim=8, num_queries=5)
+        skew = workload_c(n_base=300, days=2, dim=8, num_queries=5, skewed=True)
+        assert uniform.name == "workload-c-uniform"
+        assert skew.name == "workload-c-skew"
+
+    def test_queries_near_base(self):
+        wl = workload_b(n_base=200, days=1, dim=8, num_queries=20)
+        assert wl.queries.shape == (20, 8)

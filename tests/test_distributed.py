@@ -1,0 +1,141 @@
+"""Tests for the sharded (distributed) SPFresh extension."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import SPFreshConfig
+from repro.core.index import SPFreshIndex
+from repro.datasets import GroundTruthTracker, exact_knn
+from repro.distributed import ShardRouter, ShardedSPFresh
+from tests.conftest import DIM
+
+
+@pytest.fixture
+def sharded(vectors, small_config):
+    index = ShardedSPFresh.build(vectors, num_shards=3, config=small_config)
+    yield index
+    index.close()
+
+
+class TestRouter:
+    def test_deterministic(self):
+        router = ShardRouter(4)
+        assert router.shard_of(123) == router.shard_of(123)
+
+    def test_range(self):
+        router = ShardRouter(5)
+        shards = {router.shard_of(i) for i in range(1000)}
+        assert shards == {0, 1, 2, 3, 4}
+
+    def test_balance(self):
+        router = ShardRouter(4)
+        counts = np.bincount(
+            [router.shard_of(i) for i in range(4000)], minlength=4
+        )
+        assert counts.max() / counts.min() < 1.3
+
+    def test_partition_covers_all(self):
+        router = ShardRouter(3)
+        ids = np.arange(100, dtype=np.int64)
+        parts = router.partition(ids)
+        assert sorted(np.concatenate(parts)) == list(range(100))
+
+    def test_invalid_count(self):
+        with pytest.raises(ValueError):
+            ShardRouter(0)
+
+
+class TestBuild:
+    def test_all_vectors_distributed(self, sharded, vectors):
+        assert sharded.live_vector_count == len(vectors)
+        assert sharded.num_shards == 3
+        assert sum(sharded.shard_sizes()) == len(vectors)
+
+    def test_shards_roughly_balanced(self, sharded):
+        sizes = sharded.shard_sizes()
+        assert max(sizes) / max(min(sizes), 1) < 2.0
+
+    def test_mismatched_router_rejected(self, vectors, small_config):
+        single = SPFreshIndex.build(vectors, config=small_config)
+        with pytest.raises(ValueError):
+            ShardedSPFresh([single], ShardRouter(2))
+
+    def test_too_many_shards_for_tiny_data(self, small_config, rng):
+        few = rng.normal(size=(3, DIM)).astype(np.float32)
+        with pytest.raises(ValueError):
+            ShardedSPFresh.build(few, num_shards=64, config=small_config)
+
+
+class TestSearch:
+    def test_matches_exact_with_full_probe(self, sharded, vectors):
+        queries = vectors[:10] + 0.01
+        gt = exact_knn(vectors, np.arange(len(vectors)), queries, 5)
+        for i, q in enumerate(queries):
+            result = sharded.search(q, 5, nprobe=10**6)
+            assert set(map(int, result.ids)) == set(map(int, gt[i]))
+
+    def test_latency_is_max_plus_merge(self, sharded, vectors):
+        result = sharded.search(vectors[0], 5, nprobe=4)
+        per_shard = [s.search(vectors[0], 5, nprobe=4) for s in sharded.shards]
+        assert result.latency_us >= max(r.latency_us for r in per_shard)
+
+    def test_parallel_mode_same_results(self, sharded, vectors):
+        serial = sharded.search(vectors[0], 8, nprobe=8)
+        parallel = sharded.search(vectors[0], 8, nprobe=8, parallel=True)
+        assert set(map(int, serial.ids)) == set(map(int, parallel.ids))
+
+    def test_dedup_across_shards(self, sharded, vectors):
+        result = sharded.search(vectors[0], 20, nprobe=16)
+        assert len(set(map(int, result.ids))) == len(result.ids)
+
+
+class TestUpdates:
+    def test_insert_routes_to_one_shard(self, sharded, rng):
+        before = sharded.shard_sizes()
+        sharded.insert(99_999, rng.normal(size=DIM).astype(np.float32))
+        after = sharded.shard_sizes()
+        assert sum(after) == sum(before) + 1
+        changed = [i for i in range(3) if after[i] != before[i]]
+        assert len(changed) == 1
+        assert changed[0] == sharded.router.shard_of(99_999)
+
+    def test_inserted_vector_found(self, sharded, rng):
+        vec = rng.normal(size=DIM).astype(np.float32)
+        sharded.insert(77_777, vec)
+        result = sharded.search(vec, 1, nprobe=10**6)
+        assert result.ids[0] == 77_777
+
+    def test_delete_hides_everywhere(self, sharded, vectors):
+        sharded.delete(5)
+        result = sharded.search(vectors[5], 10, nprobe=10**6)
+        assert 5 not in set(map(int, result.ids))
+
+    def test_churn_preserves_recall(self, sharded, vectors, rng):
+        tracker = GroundTruthTracker(np.arange(len(vectors)), vectors)
+        for i in range(150):
+            vid = 10_000 + i
+            vec = rng.normal(size=DIM).astype(np.float32)
+            sharded.insert(vid, vec)
+            tracker.insert(vid, vec)
+            sharded.delete(i)
+            tracker.delete(i)
+        sharded.drain()
+        queries = vectors[200:220]
+        gt = tracker.ground_truth(queries, 5)
+        hits = total = 0
+        for i, q in enumerate(queries):
+            result = sharded.search(q, 5, nprobe=8)
+            hits += len(set(map(int, result.ids)) & set(map(int, gt[i])))
+            total += 5
+        assert hits / total > 0.8
+
+    def test_maintenance_fans_out(self, sharded):
+        for vid in range(30):
+            sharded.delete(vid)
+        assert sharded.gc_pass() >= 1
+        assert sharded.drain() >= 0
+
+    def test_memory_is_sum_of_shards(self, sharded):
+        assert sharded.memory_bytes() == sum(
+            s.memory_bytes() for s in sharded.shards
+        )

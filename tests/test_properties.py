@@ -1,0 +1,108 @@
+"""Cross-cutting property-based tests (hypothesis) on core invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.clustering.balanced import balanced_kmeans
+from repro.spann.postings import dedup_top_k
+from repro.storage.wal import WriteAheadLog
+from repro.util.mips import MipsTransform
+
+coords = st.floats(-20, 20, allow_nan=False, allow_infinity=False, width=32)
+
+
+class TestDedupProperties:
+    @given(
+        st.lists(st.integers(0, 15), min_size=1, max_size=60),
+        st.integers(1, 20),
+    )
+    @settings(max_examples=50)
+    def test_dedup_output_unique_and_sorted(self, id_list, k):
+        rng = np.random.default_rng(42)
+        ids = np.array(id_list, dtype=np.int64)
+        dists = rng.random(len(ids)).astype(np.float32)
+        top_ids, top_dists = dedup_top_k(ids, dists, k)
+        assert len(set(top_ids.tolist())) == len(top_ids)
+        assert list(top_dists) == sorted(top_dists)
+        assert len(top_ids) == min(k, len(set(id_list)))
+
+    @given(st.lists(st.integers(0, 15), min_size=1, max_size=60))
+    @settings(max_examples=30)
+    def test_dedup_keeps_global_minimum(self, id_list):
+        rng = np.random.default_rng(7)
+        ids = np.array(id_list, dtype=np.int64)
+        dists = rng.random(len(ids)).astype(np.float32)
+        top_ids, top_dists = dedup_top_k(ids, dists, 1)
+        assert top_dists[0] == dists.min()
+        assert top_ids[0] == ids[int(dists.argmin())]
+
+
+class TestBalancedKMeansProperties:
+    @given(st.integers(4, 60), st.integers(2, 6))
+    @settings(max_examples=20, deadline=None)
+    def test_every_point_assigned_once(self, n, k):
+        rng = np.random.default_rng(n * 7 + k)
+        points = rng.normal(size=(n, 6)).astype(np.float32)
+        centroids, assignments = balanced_kmeans(points, k, rng, max_iters=4)
+        assert len(assignments) == n
+        assert assignments.min() >= 0
+        assert assignments.max() < len(centroids)
+
+    @given(st.integers(10, 50))
+    @settings(max_examples=15, deadline=None)
+    def test_strong_balance_with_high_weight(self, n):
+        rng = np.random.default_rng(n)
+        points = rng.normal(size=(n, 4)).astype(np.float32)
+        _, assignments = balanced_kmeans(points, 2, rng, balance_weight=64.0)
+        counts = np.bincount(assignments, minlength=2)
+        assert abs(counts[0] - counts[1]) <= max(2, n // 5)
+
+
+class TestWalProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.booleans(),
+                st.integers(0, 10**6),
+                hnp.arrays(np.float32, (4,), elements=coords),
+            ),
+            max_size=30,
+        )
+    )
+    @settings(max_examples=30)
+    def test_replay_reproduces_any_sequence(self, records):
+        wal = WriteAheadLog()
+        for is_insert, vid, vec in records:
+            if is_insert:
+                wal.log_insert(vid, vec)
+            else:
+                wal.log_delete(vid)
+        replayed = list(wal.replay())
+        assert len(replayed) == len(records)
+        for (is_insert, vid, vec), rec in zip(records, replayed):
+            assert rec.is_insert == is_insert
+            assert rec.vector_id == vid
+            if is_insert:
+                np.testing.assert_array_equal(rec.vector, vec)
+
+
+class TestMipsProperties:
+    @given(
+        hnp.arrays(np.float32, (6, 5), elements=coords),
+    )
+    @settings(max_examples=30)
+    def test_augmented_norms_equal_bound(self, vectors):
+        transform = MipsTransform.fit(vectors, headroom=1.3)
+        augmented = transform.transform_data(vectors)
+        norms = np.linalg.norm(augmented.astype(np.float64), axis=1)
+        np.testing.assert_allclose(norms, transform.norm_bound, rtol=1e-3)
+
+    @given(hnp.arrays(np.float32, (5,), elements=coords))
+    @settings(max_examples=30)
+    def test_query_transform_preserves_prefix(self, query):
+        transform = MipsTransform(5, 100.0)
+        augmented = transform.transform_query(query)
+        np.testing.assert_array_equal(augmented[:5], query)
+        assert augmented[5] == 0.0

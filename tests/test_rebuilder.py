@@ -1,0 +1,258 @@
+"""Tests for the Local Rebuilder: split, merge, reassign semantics."""
+
+import numpy as np
+import pytest
+
+from repro.core.jobs import MergeJob, ReassignJob, SplitJob
+from repro.util.errors import IndexError_
+from tests.conftest import DIM
+from tests.helpers import (
+    assert_no_vector_lost,
+    assert_posting_size_bounds,
+    live_assignment,
+    npa_violations,
+)
+
+
+def stuff_posting(index, rng, posting_id=None, count=None, id_start=50_000):
+    """Insert vectors right at a posting's centroid until it must split."""
+    if posting_id is None:
+        posting_id = index.controller.posting_ids()[0]
+    count = count or (index.config.max_posting_size + 10)
+    centroid = index.centroid_index.get(posting_id)
+    ids = []
+    for i in range(count):
+        vid = id_start + i
+        index.updater.insert(
+            vid, (centroid + rng.normal(scale=0.05, size=DIM)).astype(np.float32)
+        )
+        ids.append(vid)
+    return ids
+
+
+class TestSplit:
+    def test_split_replaces_posting_with_two(self, built_index, rng):
+        postings_before = built_index.num_postings
+        stuff_posting(built_index, rng)
+        built_index.drain()
+        assert built_index.stats.splits >= 1
+        assert built_index.num_postings > postings_before
+
+    def test_split_conserves_live_vectors(self, built_index, vectors, rng):
+        new_ids = stuff_posting(built_index, rng)
+        built_index.drain()
+        expected = list(range(len(vectors))) + new_ids
+        assert_no_vector_lost(built_index, expected)
+
+    def test_split_bounds_posting_sizes(self, built_index, rng):
+        stuff_posting(built_index, rng, count=200)
+        built_index.drain()
+        assert_posting_size_bounds(built_index)
+
+    def test_gc_only_split_when_mostly_dead(self, built_index, rng):
+        """A posting whose length is inflated by dead entries is garbage
+        collected by the split job rather than split (paper §4.2.1)."""
+        new_ids = stuff_posting(built_index, rng, count=40, id_start=60_000)
+        built_index.drain()
+        for vid in new_ids:
+            built_index.updater.delete(vid)
+        target = dirtiest_posting(built_index)
+        splits_before = built_index.stats.splits
+        gc_before = built_index.stats.gc_writebacks
+        built_index.rebuilder.process(SplitJob(posting_id=target))
+        built_index.drain()
+        assert (
+            built_index.stats.gc_writebacks > gc_before
+            or built_index.stats.splits > splits_before
+        )
+
+    def test_split_missing_posting_is_noop(self, built_index):
+        before = built_index.stats.splits
+        built_index.rebuilder.process(SplitJob(posting_id=987654))
+        assert built_index.stats.splits == before
+
+    def test_old_centroid_removed_new_added(self, built_index, rng):
+        stuff_posting(built_index, rng)
+        victims_before = set(built_index.controller.posting_ids())
+        built_index.drain()
+        # The split posting's id must be gone; fresh ids allocated.
+        after = set(built_index.controller.posting_ids())
+        assert after != victims_before
+        for pid in after:
+            assert pid in built_index.centroid_index
+
+
+def dirtiest_posting(index):
+    """Posting holding the most dead (stale or tombstoned) entries."""
+    from repro.spann.postings import live_view
+
+    best_pid, best_dead = None, -1
+    for pid in index.controller.posting_ids():
+        data, _ = index.controller.get(pid)
+        dead = len(data) - len(live_view(data, index.version_map))
+        if dead > best_dead:
+            best_pid, best_dead = pid, dead
+    return best_pid
+
+
+class TestReassign:
+    def test_reassign_restores_npa(self, built_index, rng):
+        stuff_posting(built_index, rng, count=150)
+        built_index.drain()
+        violations = npa_violations(built_index)
+        # LIRE guarantee: after quiescence NPA violations are rare (the
+        # paper's reassign-range check is deliberately approximate).
+        assert len(violations) <= max(4, built_index.live_vector_count // 64)
+
+    def test_disable_reassign_leaves_violations(self, vectors, small_config, rng):
+        from repro.core.index import SPFreshIndex
+
+        config = small_config.with_overrides(enable_reassign=False)
+        index = SPFreshIndex.build(vectors, config=config)
+        stuff_posting(index, rng, count=150)
+        index.drain()
+        with_off = len(npa_violations(index))
+
+        index2 = SPFreshIndex.build(vectors, config=small_config)
+        stuff_posting(index2, rng, count=150)
+        index2.drain()
+        with_on = len(npa_violations(index2))
+        assert with_on <= with_off
+
+    def test_stale_version_job_aborts(self, built_index, rng):
+        vec = rng.normal(size=DIM).astype(np.float32)
+        built_index.insert(70_000, vec)
+        job = ReassignJob(
+            vector_id=70_000, vector=vec, expected_version=5, source_posting=0
+        )
+        before = built_index.stats.reassign_aborted_version
+        built_index.rebuilder.process(job)
+        assert built_index.stats.reassign_aborted_version == before + 1
+
+    def test_deleted_vector_job_aborts(self, built_index, rng):
+        vec = rng.normal(size=DIM).astype(np.float32)
+        built_index.insert(70_001, vec)
+        built_index.delete(70_001)
+        job = ReassignJob(
+            vector_id=70_001, vector=vec, expected_version=0, source_posting=0
+        )
+        before = built_index.stats.reassign_aborted_version
+        built_index.rebuilder.process(job)
+        assert built_index.stats.reassign_aborted_version == before + 1
+
+    def test_npa_false_positive_aborts(self, built_index, rng):
+        """A vector already in its nearest posting is a false positive."""
+        pid0 = built_index.controller.posting_ids()[0]
+        centroid = built_index.centroid_index.get(pid0)
+        vec = (centroid + rng.normal(scale=0.01, size=DIM)).astype(np.float32)
+        built_index.insert(70_002, vec)
+        hits = built_index.centroid_index.search(vec, 1)
+        job = ReassignJob(
+            vector_id=70_002, vector=vec, expected_version=0,
+            source_posting=hits.nearest,
+        )
+        before = built_index.stats.reassign_aborted_npa
+        built_index.rebuilder.process(job)
+        assert built_index.stats.reassign_aborted_npa == before + 1
+
+    def test_executed_reassign_bumps_version(self, built_index, rng):
+        # Plant a vector in a *wrong* posting deliberately, then reassign.
+        far_pid = built_index.controller.posting_ids()[-1]
+        near_pid = built_index.controller.posting_ids()[0]
+        target_centroid = built_index.centroid_index.get(near_pid)
+        vec = (target_centroid + rng.normal(scale=0.01, size=DIM)).astype(np.float32)
+        built_index.version_map.register(70_003)
+        from repro.storage.layout import PostingData
+
+        built_index.controller.append(
+            far_pid, PostingData.from_rows([70_003], [0], vec)
+        )
+        job = ReassignJob(
+            vector_id=70_003, vector=vec, expected_version=0,
+            source_posting=far_pid,
+        )
+        built_index.rebuilder.process(job)
+        built_index.drain()
+        assert built_index.version_map.current_version(70_003) == 1
+        assignment = live_assignment(built_index)
+        assert far_pid not in assignment.get(70_003, {far_pid})
+
+
+class TestMerge:
+    def make_small_posting(self, index, rng):
+        """Delete vectors from a posting until it is undersized."""
+        pid = self.healthy_posting(index)
+        data, _ = index.controller.get(pid)
+        survivors = int(index.config.min_posting_size) - 1
+        for vid in data.ids[survivors:]:
+            index.updater.delete(int(vid))
+        return pid
+
+    def test_merge_removes_posting(self, built_index, rng):
+        pid = self.make_small_posting(built_index, rng)
+        built_index.rebuilder.process(MergeJob(posting_id=pid))
+        built_index.drain()
+        assert built_index.stats.merges == 1
+        assert not built_index.controller.exists(pid)
+        assert pid not in built_index.centroid_index
+
+    def test_merge_preserves_live_vectors(self, built_index, vectors, rng):
+        pid = self.make_small_posting(built_index, rng)
+        deleted = built_index.version_map.deleted_count
+        built_index.rebuilder.process(MergeJob(posting_id=pid))
+        built_index.drain()
+        expected = [
+            i for i in range(len(vectors)) if not built_index.version_map.is_deleted(i)
+        ]
+        assert_no_vector_lost(built_index, expected)
+        assert built_index.version_map.deleted_count == deleted
+
+    @staticmethod
+    def healthy_posting(index):
+        for pid in index.controller.posting_ids():
+            if index.controller.length(pid) >= index.config.min_posting_size * 2:
+                return pid
+        raise AssertionError("no healthy posting found")
+
+    def test_merge_skips_healthy_posting(self, built_index):
+        pid = self.healthy_posting(built_index)
+        built_index.rebuilder.process(MergeJob(posting_id=pid))
+        assert built_index.stats.merges == 0
+        assert built_index.controller.exists(pid)
+
+    def test_merge_missing_posting_noop(self, built_index):
+        built_index.rebuilder.process(MergeJob(posting_id=313371))
+        assert built_index.stats.merges == 0
+
+    def test_search_triggers_merge(self, built_index, vectors, rng):
+        """The searcher reports undersized postings; search() queues merges."""
+        pid = self.make_small_posting(built_index, rng)
+        centroid = built_index.centroid_index.get(pid)
+        built_index.search(centroid, 5, nprobe=4)
+        built_index.drain()
+        assert built_index.stats.merge_jobs >= 1
+
+
+class TestDrain:
+    def test_drain_returns_job_count(self, built_index, rng):
+        stuff_posting(built_index, rng, count=10)
+        pid = built_index.controller.posting_ids()[0]
+        built_index.job_queue.put(SplitJob(posting_id=pid))
+        executed = built_index.rebuilder.drain()
+        assert executed >= 1
+
+    def test_drain_bounded(self, built_index):
+        pids = built_index.controller.posting_ids()[:5]
+        for pid in pids:
+            built_index.job_queue.put(SplitJob(posting_id=pid))
+        assert built_index.rebuilder.drain(max_jobs=3) == 3
+
+    def test_duplicate_split_jobs_deduped(self, built_index):
+        pid = built_index.controller.posting_ids()[0]
+        for _ in range(5):
+            built_index.job_queue.put(SplitJob(posting_id=pid))
+        assert built_index.job_queue.pending == 1
+
+    def test_unknown_job_type_raises(self, built_index):
+        with pytest.raises(IndexError_):
+            built_index.rebuilder.process(object())

@@ -1,0 +1,135 @@
+"""Tests for LIRE stats counters, job queue, and id allocation."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core.ids import IdAllocator
+from repro.core.jobs import JobQueue, ReassignJob, SplitJob
+from repro.core.stats import LireStats, StatsSnapshot
+
+
+class TestLireStats:
+    def test_incr_and_read(self):
+        stats = LireStats()
+        stats.incr("splits")
+        stats.incr("splits", 2)
+        assert stats.splits == 3
+
+    def test_snapshot_is_immutable_copy(self):
+        stats = LireStats()
+        stats.incr("merges")
+        snap = stats.snapshot()
+        stats.incr("merges")
+        assert snap.merges == 1
+        assert stats.merges == 2
+
+    def test_delta(self):
+        stats = LireStats()
+        stats.incr("inserts", 10)
+        before = stats.snapshot()
+        stats.incr("inserts", 5)
+        delta = stats.snapshot().delta(before)
+        assert delta.inserts == 5
+
+    def test_cascade_depth_max(self):
+        stats = LireStats()
+        stats.observe_cascade_depth(2)
+        stats.observe_cascade_depth(1)
+        assert stats.split_cascade_max_depth == 2
+
+    def test_unknown_attribute_raises(self):
+        with pytest.raises(AttributeError):
+            LireStats().nonexistent_counter
+
+    def test_thread_safe_increments(self):
+        stats = LireStats()
+
+        def bump():
+            for _ in range(1000):
+                stats.incr("appends")
+
+        threads = [threading.Thread(target=bump) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert stats.appends == 4000
+
+    def test_snapshot_fields_complete(self):
+        snap = LireStats().snapshot()
+        assert isinstance(snap, StatsSnapshot)
+        assert snap.splits == 0 and snap.reassign_executed == 0
+
+
+class TestJobQueue:
+    def test_fifo_order(self):
+        q = JobQueue()
+        q.put(SplitJob(posting_id=1))
+        q.put(SplitJob(posting_id=2))
+        assert q.get().posting_id == 1
+        q.task_done()
+        assert q.get().posting_id == 2
+        q.task_done()
+
+    def test_pending_counts(self):
+        q = JobQueue()
+        assert q.empty()
+        q.put(SplitJob(posting_id=1))
+        assert q.pending == 1
+        assert not q.empty()
+
+    def test_join_after_task_done(self):
+        q = JobQueue()
+        q.put(SplitJob(posting_id=1))
+        q.get()
+        q.task_done()
+        q.join()  # returns immediately
+
+
+class TestJobTypes:
+    def test_jobs_are_frozen(self):
+        job = SplitJob(posting_id=1)
+        with pytest.raises(Exception):
+            job.posting_id = 2
+
+    def test_reassign_job_carries_context(self):
+        vec = np.ones(4, dtype=np.float32)
+        job = ReassignJob(
+            vector_id=7, vector=vec, expected_version=3, source_posting=9
+        )
+        assert job.vector_id == 7
+        assert job.expected_version == 3
+        assert job.attempts == 0
+
+
+class TestIdAllocator:
+    def test_monotonic(self):
+        alloc = IdAllocator(5)
+        assert [alloc.next() for _ in range(3)] == [5, 6, 7]
+        assert alloc.peek() == 8
+
+    def test_advance_to(self):
+        alloc = IdAllocator()
+        alloc.advance_to(100)
+        assert alloc.next() == 100
+        alloc.advance_to(50)  # never goes backwards
+        assert alloc.next() == 101
+
+    def test_thread_safety_no_duplicates(self):
+        alloc = IdAllocator()
+        out: list[int] = []
+        lock = threading.Lock()
+
+        def grab():
+            local = [alloc.next() for _ in range(500)]
+            with lock:
+                out.extend(local)
+
+        threads = [threading.Thread(target=grab) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(out) == len(set(out)) == 2000

@@ -1,0 +1,128 @@
+"""Tests for Vamana graph construction and greedy search."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.diskann.vamana import (
+    _components,
+    build_vamana,
+    greedy_search,
+    robust_prune,
+)
+from repro.datasets import exact_knn, make_sift_like
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return make_sift_like(1200, 0, dim=16, n_clusters=12, seed=2)
+
+
+@pytest.fixture(scope="module")
+def graph(dataset):
+    adjacency, medoid = build_vamana(dataset.base, degree_limit=12)
+    return adjacency, medoid
+
+
+class TestRobustPrune:
+    def test_degree_limit_respected(self, rng):
+        point = np.zeros(8, dtype=np.float32)
+        cands = rng.normal(size=(50, 8)).astype(np.float32)
+        kept = robust_prune(point, np.arange(50), cands, alpha=1.2, degree_limit=10)
+        assert len(kept) <= 10
+
+    def test_nearest_always_kept(self, rng):
+        point = np.zeros(8, dtype=np.float32)
+        cands = rng.normal(size=(20, 8)).astype(np.float32)
+        dists = ((cands - point) ** 2).sum(axis=1)
+        kept = robust_prune(point, np.arange(20), cands, 1.2, 5)
+        assert int(dists.argmin()) in kept
+
+    def test_clustered_candidates_deduplicated(self):
+        """Many candidates in the same direction collapse to ~one edge."""
+        point = np.zeros(2, dtype=np.float32)
+        tight = np.array(
+            [[1.0, 0.0], [1.05, 0.0], [1.1, 0.0], [0.0, 1.0]], dtype=np.float32
+        )
+        kept = robust_prune(point, np.arange(4), tight, alpha=1.2, degree_limit=4)
+        assert 0 in kept and 3 in kept
+        assert len(kept) <= 3
+
+    def test_empty_candidates(self):
+        kept = robust_prune(
+            np.zeros(4, np.float32), np.empty(0), np.empty((0, 4), np.float32), 1.2, 5
+        )
+        assert kept == []
+
+
+class TestBuild:
+    def test_degrees_bounded(self, graph):
+        adjacency, _ = graph
+        # fast build adds up to 3 long edges + 1 connectivity bridge.
+        assert max(len(a) for a in adjacency) <= 12 + 4 + 1
+
+    def test_no_self_edges(self, graph):
+        adjacency, _ = graph
+        for i, nbrs in enumerate(adjacency):
+            assert i not in set(int(n) for n in nbrs)
+
+    def test_graph_is_connected(self, graph):
+        adjacency, medoid = graph
+        labels = _components([list(a) for a in adjacency], len(adjacency))
+        assert len(np.unique(labels)) == 1
+
+    def test_medoid_is_central(self, dataset, graph):
+        _, medoid = graph
+        mean = dataset.base.mean(axis=0)
+        d_medoid = np.linalg.norm(dataset.base[medoid] - mean)
+        d_all = np.linalg.norm(dataset.base - mean, axis=1)
+        assert d_medoid == pytest.approx(d_all.min())
+
+    def test_single_point(self):
+        adjacency, medoid = build_vamana(np.zeros((1, 4), dtype=np.float32))
+        assert medoid == 0
+        assert len(adjacency) == 1 and len(adjacency[0]) == 0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            build_vamana(np.empty((0, 4), dtype=np.float32))
+
+    def test_slow_path_also_connected(self):
+        ds = make_sift_like(300, 0, dim=8, n_clusters=6, seed=3)
+        adjacency, medoid = build_vamana(ds.base, degree_limit=8, fast=False)
+        labels = _components([list(a) for a in adjacency], len(adjacency))
+        assert len(np.unique(labels)) == 1
+
+
+class TestGreedySearch:
+    def test_high_recall(self, dataset, graph):
+        adjacency, medoid = graph
+        queries = dataset.base[:30] + 0.01
+        gt = exact_knn(dataset.base, np.arange(len(dataset.base)), queries, 10)
+        hits = 0
+        for i, q in enumerate(queries):
+            res, _ = greedy_search(
+                q, medoid, adjacency, lambda nid: dataset.base[nid], 48
+            )
+            hits += len(set(res[:10]) & set(int(x) for x in gt[i]))
+        assert hits / 300 > 0.9
+
+    def test_visited_contains_expansions(self, dataset, graph):
+        adjacency, medoid = graph
+        res, visited = greedy_search(
+            dataset.base[0], medoid, adjacency, lambda nid: dataset.base[nid], 16
+        )
+        assert medoid in visited
+        assert len(res) <= 16
+
+    def test_visit_callback_fires(self, dataset, graph):
+        adjacency, medoid = graph
+        calls = []
+        greedy_search(
+            dataset.base[0],
+            medoid,
+            adjacency,
+            lambda nid: dataset.base[nid],
+            16,
+            visit_callback=calls.append,
+        )
+        assert len(calls) >= 1

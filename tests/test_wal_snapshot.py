@@ -1,0 +1,127 @@
+"""Tests for the write-ahead log and snapshot manager."""
+
+import numpy as np
+import pytest
+
+from repro.storage.snapshot import SnapshotManager
+from repro.storage.wal import OP_DELETE, OP_INSERT, WriteAheadLog
+from repro.util.errors import RecoveryError
+
+
+class TestWalInMemory:
+    def test_replay_order(self):
+        wal = WriteAheadLog()
+        wal.log_insert(1, np.ones(4, dtype=np.float32))
+        wal.log_delete(2)
+        wal.log_insert(3, np.zeros(4, dtype=np.float32))
+        records = list(wal.replay())
+        assert [r.op for r in records] == [OP_INSERT, OP_DELETE, OP_INSERT]
+        assert [r.vector_id for r in records] == [1, 2, 3]
+        np.testing.assert_array_equal(records[0].vector, np.ones(4))
+        assert records[1].vector is None
+
+    def test_truncate(self):
+        wal = WriteAheadLog()
+        wal.log_delete(1)
+        wal.truncate()
+        assert list(wal.replay()) == []
+        assert wal.record_count == 0
+
+    def test_record_count(self):
+        wal = WriteAheadLog()
+        for i in range(5):
+            wal.log_delete(i)
+        assert wal.record_count == 5
+
+    def test_replay_is_repeatable(self):
+        wal = WriteAheadLog()
+        wal.log_insert(7, np.arange(3, dtype=np.float32))
+        assert len(list(wal.replay())) == 1
+        assert len(list(wal.replay())) == 1
+
+
+class TestWalFileBacked:
+    def test_survives_reopen(self, tmp_path):
+        path = str(tmp_path / "updates.wal")
+        wal = WriteAheadLog(path)
+        wal.log_insert(10, np.full(4, 2.5, dtype=np.float32))
+        wal.log_delete(11)
+        wal.close()
+        reopened = WriteAheadLog(path)
+        records = list(reopened.replay())
+        assert len(records) == 2
+        assert reopened.record_count == 2
+        np.testing.assert_array_equal(records[0].vector, np.full(4, 2.5))
+        reopened.close()
+
+    def test_torn_tail_record_dropped(self, tmp_path):
+        path = str(tmp_path / "torn.wal")
+        wal = WriteAheadLog(path)
+        wal.log_insert(1, np.ones(4, dtype=np.float32))
+        wal.log_insert(2, np.ones(4, dtype=np.float32))
+        wal.close()
+        # Simulate a crash mid-write: chop bytes off the tail.
+        with open(path, "r+b") as fh:
+            fh.truncate(wal_size_minus(path, 5))
+        recovered = WriteAheadLog(path)
+        records = list(recovered.replay())
+        assert [r.vector_id for r in records] == [1]
+        recovered.close()
+
+    def test_truncate_persists(self, tmp_path):
+        path = str(tmp_path / "t.wal")
+        wal = WriteAheadLog(path)
+        wal.log_delete(3)
+        wal.truncate()
+        wal.close()
+        assert list(WriteAheadLog(path).replay()) == []
+
+    def test_sync_flag(self, tmp_path):
+        wal = WriteAheadLog(str(tmp_path / "s.wal"), sync=True)
+        wal.log_delete(1)
+        assert wal.record_count == 1
+        wal.close()
+
+
+def wal_size_minus(path: str, n: int) -> int:
+    import os
+
+    return os.path.getsize(path) - n
+
+
+class TestSnapshotManager:
+    def test_memory_roundtrip(self):
+        mgr = SnapshotManager()
+        assert mgr.load() is None
+        assert not mgr.has_snapshot
+        gen = mgr.save({"x": np.arange(3)})
+        assert gen == 1
+        assert mgr.has_snapshot
+        state = mgr.load()
+        np.testing.assert_array_equal(state["x"], np.arange(3))
+
+    def test_generations_increase(self):
+        mgr = SnapshotManager()
+        assert mgr.save({}) == 1
+        assert mgr.save({}) == 2
+
+    def test_file_roundtrip(self, tmp_path):
+        mgr = SnapshotManager(str(tmp_path))
+        mgr.save({"value": 42})
+        fresh = SnapshotManager(str(tmp_path))
+        assert fresh.load()["value"] == 42
+        assert fresh.generation == 1
+
+    def test_latest_wins(self, tmp_path):
+        mgr = SnapshotManager(str(tmp_path))
+        mgr.save({"v": 1})
+        mgr.save({"v": 2})
+        assert SnapshotManager(str(tmp_path)).load()["v"] == 2
+
+    def test_corrupt_snapshot_raises(self, tmp_path):
+        mgr = SnapshotManager(str(tmp_path))
+        mgr.save({"v": 1})
+        snapshot_file = tmp_path / "index.snapshot"
+        snapshot_file.write_bytes(b"not a pickle")
+        with pytest.raises(RecoveryError):
+            SnapshotManager(str(tmp_path))

@@ -1,0 +1,42 @@
+"""Tests for the insert-only growth workload (Workload D)."""
+
+import numpy as np
+
+from repro.datasets import workload_d
+
+
+class TestWorkloadD:
+    def test_no_deletes(self):
+        wl = workload_d(n_base=300, days=4, daily_growth=0.1, dim=8, num_queries=5)
+        for epoch in wl.epochs:
+            assert len(epoch.delete_ids) == 0
+            assert len(epoch.insert_ids) == 30
+
+    def test_ids_continue_from_base(self):
+        wl = workload_d(n_base=100, days=2, daily_growth=0.1, dim=8, num_queries=5)
+        assert wl.epochs[0].insert_ids[0] == 100
+        assert wl.epochs[1].insert_ids[0] == 110
+
+    def test_growth_accumulates(self):
+        wl = workload_d(n_base=200, days=5, daily_growth=0.2, dim=8, num_queries=5)
+        total_inserts = sum(len(e.insert_ids) for e in wl.epochs)
+        assert total_inserts == 5 * 40
+
+    def test_insert_vectors_match_ids(self):
+        wl = workload_d(n_base=100, days=3, daily_growth=0.1, dim=8, num_queries=5)
+        for epoch in wl.epochs:
+            assert len(epoch.insert_vectors) == len(epoch.insert_ids)
+            assert epoch.insert_vectors.shape[1] == 8
+
+    def test_deterministic(self):
+        a = workload_d(n_base=100, days=2, dim=8, num_queries=5, seed=4)
+        b = workload_d(n_base=100, days=2, dim=8, num_queries=5, seed=4)
+        np.testing.assert_array_equal(
+            a.epochs[0].insert_vectors, b.epochs[0].insert_vectors
+        )
+        np.testing.assert_array_equal(a.queries, b.queries)
+
+    def test_name(self):
+        assert workload_d(n_base=50, days=1, dim=8, num_queries=2).name == (
+            "workload-d-growth"
+        )
