@@ -11,6 +11,19 @@ from repro.bench.harness import (
 from repro.bench.reporting import format_series, format_table
 from repro.bench.cost_model import RebuildCostModel, table1_rows
 
+_STRESS_EXPORTS = ("ChaosSchedule", "StressConfig", "StressReport", "run_stress")
+
+
+def __getattr__(name):
+    # Lazy: keeps `python -m repro.bench.stress` runnable without the
+    # package __init__ pre-importing the submodule (runpy warning).
+    if name in _STRESS_EXPORTS:
+        from repro.bench import stress
+
+        return getattr(stress, name)
+    raise AttributeError(name)
+
+
 __all__ = [
     "TABLE2_THREAD_ALLOCATION",
     "TABLE3_THREAD_ALLOCATION",
@@ -22,4 +35,8 @@ __all__ = [
     "format_table",
     "RebuildCostModel",
     "table1_rows",
+    "ChaosSchedule",
+    "StressConfig",
+    "StressReport",
+    "run_stress",
 ]

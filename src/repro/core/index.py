@@ -36,6 +36,7 @@ from repro.storage.snapshot import SnapshotManager
 from repro.storage.ssd import SimulatedSSD, SSDProfile
 from repro.storage.wal import WriteAheadLog
 from repro.util.distance import as_matrix, as_vector
+from repro.util.errors import StalePostingError
 
 __all__ = ["SPFreshIndex", "SearchResult"]
 
@@ -63,7 +64,7 @@ class SPFreshIndex:
         self.wal = wal
         self.snapshots = snapshots
         self.stats = LireStats()
-        self.locks = PostingLockManager()
+        self.locks = PostingLockManager(stats=self.stats)
         self.job_queue = JobQueue()
         self.updater = Updater(
             centroid_index,
@@ -224,8 +225,23 @@ class SPFreshIndex:
     def search_batch(
         self, queries: np.ndarray, k: int, nprobe: int | None = None
     ) -> list[SearchResult]:
-        """Batched search: one ParallelGET submission serves all queries."""
-        return self.searcher.search_many(as_matrix(queries, self.config.dim), k, nprobe)
+        """Batched search: one ParallelGET submission serves all queries.
+
+        Maintenance parity with :meth:`search`: undersized postings seen by
+        any query in the batch schedule merge jobs (deduplicated by the
+        queue), so batch-only workloads keep the index balanced too.
+        """
+        results = self.searcher.search_many(
+            as_matrix(queries, self.config.dim), k, nprobe
+        )
+        if self.config.enable_merge:
+            scheduled = False
+            for result in results:
+                for pid in result.undersized_postings:
+                    scheduled = self.job_queue.put(MergeJob(posting_id=pid)) or scheduled
+            if scheduled and self.config.synchronous_rebuild:
+                self.rebuilder.drain()
+        return results
 
     def insert_batch(self, ids: np.ndarray, vectors: np.ndarray) -> list[float]:
         vectors = as_matrix(vectors, self.config.dim)
@@ -263,6 +279,16 @@ class SPFreshIndex:
     # ------------------------------------------------------------------
     # maintenance / introspection
     # ------------------------------------------------------------------
+    def check_invariants(self, **kwargs):
+        """Audit the index against the LIRE end-state invariants.
+
+        Thin wrapper over :func:`repro.core.invariants.check_invariants`;
+        see that module for the properties verified and the knobs.
+        """
+        from repro.core.invariants import check_invariants
+
+        return check_invariants(self, **kwargs)
+
     def checkpoint(self) -> int:
         """Take a crash-consistent snapshot and truncate the WAL (§4.4)."""
         if self.snapshots is None:
@@ -333,8 +359,8 @@ class SPFreshIndex:
         for pid in self.controller.posting_ids():
             try:
                 data, _ = self.controller.get(pid)
-            except Exception:
-                continue
+            except StalePostingError:
+                continue  # deleted concurrently; real storage errors propagate
             mask = self.version_map.live_mask(data.ids, data.versions)
             for vid in data.ids[mask]:
                 counts[int(vid)] = counts.get(int(vid), 0) + 1

@@ -1,0 +1,198 @@
+"""Whole-index invariant checker for the LIRE pipeline.
+
+The concurrent split/merge/reassign pipeline is only trustworthy if its
+end state can be audited. :func:`check_invariants` sweeps the index once
+and verifies the properties the paper's protocol promises after the job
+queue drains:
+
+* **conservation** — every live vector id in the version map has at least
+  one on-disk replica stored at its *current* version (nothing lost, no
+  ghosts in the map);
+* **size bounds** — no posting exceeds ``max_posting_size`` (splits kept
+  up with appends; only checked when splits are enabled and the queue is
+  drained);
+* **mapping coherence** — the Block Controller's posting table and the
+  centroid index hold exactly the same posting ids (a split or merge that
+  died halfway leaves an orphan on one side);
+* **sampled NPA** — for a random sample of live vectors, the posting of
+  the nearest centroid contains a live copy (the nearest-partition
+  assignment property, §3.3; boundary ties are tolerated).
+
+The checker is read-only and takes no locks beyond the controller's own,
+so it can run against a quiesced index (after ``stop()``/``drain()``) or,
+best-effort, against a live one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.spann.postings import live_view
+from repro.util.distance import sq_l2
+from repro.util.errors import IndexError_, StalePostingError
+
+
+class InvariantViolation(IndexError_):
+    """check_invariants found a broken index-wide invariant."""
+
+
+@dataclass
+class InvariantReport:
+    """Outcome of one :func:`check_invariants` sweep."""
+
+    live_vectors: int = 0
+    postings: int = 0
+    lost_vectors: list[int] = field(default_factory=list)
+    oversized_postings: list[tuple[int, int]] = field(default_factory=list)
+    postings_without_centroid: list[int] = field(default_factory=list)
+    centroids_without_posting: list[int] = field(default_factory=list)
+    npa_checked: int = 0
+    npa_violations: list[int] = field(default_factory=list)
+    npa_allowance: int = 0
+
+    @property
+    def failures(self) -> list[str]:
+        """Human-readable description of every violated invariant."""
+        out: list[str] = []
+        if self.lost_vectors:
+            out.append(
+                f"{len(self.lost_vectors)} live vectors have no live replica "
+                f"(e.g. {self.lost_vectors[:5]})"
+            )
+        if self.oversized_postings:
+            out.append(
+                f"{len(self.oversized_postings)} postings over the split "
+                f"limit (e.g. {self.oversized_postings[:5]})"
+            )
+        if self.postings_without_centroid:
+            out.append(
+                f"postings without centroid: {self.postings_without_centroid[:5]}"
+            )
+        if self.centroids_without_posting:
+            out.append(
+                f"centroids without posting: {self.centroids_without_posting[:5]}"
+            )
+        if len(self.npa_violations) > self.npa_allowance:
+            out.append(
+                f"{len(self.npa_violations)}/{self.npa_checked} sampled "
+                f"vectors violate NPA (allowance {self.npa_allowance}, "
+                f"e.g. {self.npa_violations[:5]})"
+            )
+        return out
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def raise_if_failed(self) -> None:
+        if not self.ok:
+            raise InvariantViolation("; ".join(self.failures))
+
+
+def check_invariants(
+    index,
+    *,
+    npa_sample: int = 128,
+    npa_tolerance: float = 1e-5,
+    npa_allowance: int | None = None,
+    check_size_bounds: bool = True,
+    size_slack: int = 0,
+    seed: int = 0,
+) -> InvariantReport:
+    """Audit ``index`` against the LIRE end-state invariants.
+
+    ``npa_sample`` live vectors are NPA-checked (0 disables the check);
+    ``npa_allowance`` is how many sampled violations are tolerated before
+    the report fails — the default scales with the sample because reassign
+    legitimately aborts a small number of moves (version races, boundary
+    ties) that the next maintenance pass repairs. ``check_size_bounds``
+    should be False when auditing a live index whose queue still holds
+    split jobs. Returns an :class:`InvariantReport`; callers that want an
+    exception use ``report.raise_if_failed()``.
+    """
+    report = InvariantReport()
+    stats = getattr(index, "stats", None)
+    if stats is not None:
+        stats.incr("invariant_checks")
+
+    live_ids = index.version_map.live_ids()
+    report.live_vectors = len(live_ids)
+    rng = np.random.default_rng(seed)
+    if npa_sample and len(live_ids):
+        take = min(npa_sample, len(live_ids))
+        sampled = set(
+            int(v) for v in rng.choice(live_ids, size=take, replace=False)
+        )
+    else:
+        sampled = set()
+
+    # Single sweep over every posting: collect which postings hold a live
+    # replica of each vector, vectors' raw data for the NPA sample, and
+    # per-posting length / centroid coherence.
+    replica_postings: dict[int, set[int]] = {}
+    sampled_vectors: dict[int, np.ndarray] = {}
+    posting_ids = index.controller.posting_ids()
+    report.postings = len(posting_ids)
+    limit = index.config.max_posting_size + size_slack
+    for pid in posting_ids:
+        try:
+            data, _ = index.controller.get(pid)
+        except StalePostingError:
+            continue  # deleted concurrently while auditing a live index
+        if (
+            check_size_bounds
+            and index.config.enable_split
+            and len(data) > limit
+        ):
+            report.oversized_postings.append((pid, len(data)))
+        if pid not in index.centroid_index:
+            report.postings_without_centroid.append(pid)
+        live = live_view(data, index.version_map)
+        for row, vid in enumerate(live.ids):
+            vid = int(vid)
+            replica_postings.setdefault(vid, set()).add(pid)
+            if vid in sampled and vid not in sampled_vectors:
+                sampled_vectors[vid] = live.vectors[row]
+
+    existing = set(posting_ids)
+    for pid, _ in index.centroid_index.items():
+        if int(pid) not in existing:
+            report.centroids_without_posting.append(int(pid))
+
+    report.lost_vectors = sorted(
+        int(v) for v in live_ids if int(v) not in replica_postings
+    )
+
+    # Sampled NPA: the nearest centroid's posting must hold a live copy,
+    # tolerating exact-distance ties between boundary centroids.
+    checked = 0
+    for vid in sorted(sampled):
+        vector = sampled_vectors.get(vid)
+        if vector is None:
+            continue  # already reported via lost_vectors
+        hits = index.centroid_index.search(vector, 1)
+        if len(hits) == 0:
+            continue
+        checked += 1
+        nearest = hits.nearest
+        holders = replica_postings[vid]
+        if nearest in holders:
+            continue
+        d_nearest = sq_l2(vector, index.centroid_index.get(nearest))
+        try:
+            d_best = min(
+                sq_l2(vector, index.centroid_index.get(pid))
+                for pid in holders
+                if pid in index.centroid_index
+            )
+        except ValueError:
+            d_best = float("inf")
+        if d_best > d_nearest * (1.0 + npa_tolerance) + npa_tolerance:
+            report.npa_violations.append(vid)
+    report.npa_checked = checked
+    if npa_allowance is None:
+        npa_allowance = max(2, checked // 25)
+    report.npa_allowance = npa_allowance
+    return report

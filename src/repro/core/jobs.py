@@ -5,6 +5,13 @@ them. Jobs carry everything needed to execute without re-reading foreground
 state, except data that must be re-validated at execution time (posting
 contents, vector versions) — re-validation is what makes the pipeline safe
 under concurrency.
+
+Both the queue and the lock manager accept an optional ``chaos`` hook — a
+callable ``chaos(point: str, detail: int | None)`` invoked at the
+scheduling boundaries where thread interleavings matter (job dequeue, lock
+acquisition). The stress harness (``repro.bench.stress``) installs a
+seeded schedule there to force adversarial yields; production leaves it
+``None`` and pays only an attribute check.
 """
 
 from __future__ import annotations
@@ -12,9 +19,12 @@ from __future__ import annotations
 import queue
 import threading
 from contextlib import contextmanager
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+from typing import Callable, Optional
 
 import numpy as np
+
+ChaosHook = Optional[Callable[[str, Optional[int]], None]]
 
 
 @dataclass(frozen=True)
@@ -52,37 +62,67 @@ RebuildJob = object  # union alias for documentation purposes
 
 
 class JobQueue:
-    """FIFO of rebuild jobs with pending-count tracking.
+    """FIFO of rebuild jobs with pending-count tracking and dedup.
 
     ``task_done``/``join`` semantics follow :class:`queue.Queue` so the
     synchronous driver can wait for full drain including cascades.
+
+    Split and merge jobs are deduplicated by posting id: only one pending
+    job per (kind, posting) is ever useful because the job re-reads the
+    posting at execution time and handles all accumulated change at once.
+    The marker is cleared at dequeue so events landing *while* the job runs
+    can schedule a fresh one.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, chaos: ChaosHook = None) -> None:
         self._queue: "queue.Queue[object]" = queue.Queue()
         self._pending_splits: set[int] = set()
-        self._split_lock = threading.Lock()
+        self._pending_merges: set[int] = set()
+        self._dedup_lock = threading.Lock()
+        self.chaos: ChaosHook = chaos
 
-    def put(self, job: object) -> None:
+    def put(self, job: object) -> bool:
+        """Enqueue a job; returns False if dedup dropped it as redundant."""
         if isinstance(job, SplitJob):
-            # Bulk appends enqueue one split request per append; only one
-            # pending split per posting is ever useful (the job re-reads
-            # the posting and handles all accumulated growth at once).
-            with self._split_lock:
+            with self._dedup_lock:
                 if job.posting_id in self._pending_splits:
-                    return
+                    return False
                 self._pending_splits.add(job.posting_id)
+        elif isinstance(job, MergeJob):
+            # Every search probing the same undersized posting reports it
+            # again; without dedup each report enqueued another merge job.
+            with self._dedup_lock:
+                if job.posting_id in self._pending_merges:
+                    return False
+                self._pending_merges.add(job.posting_id)
         self._queue.put(job)
+        return True
 
-    def get(self, timeout: float | None = None) -> object:
-        job = (
-            self._queue.get(timeout=timeout) if timeout else self._queue.get_nowait()
-        )
+    def get(self, timeout: float | None = None, *, block: bool = False) -> object:
+        """Dequeue one job, raising :class:`queue.Empty` when none is ready.
+
+        Blocking is explicit: ``block=False`` (the default) never waits,
+        regardless of ``timeout``; ``block=True`` waits up to ``timeout``
+        seconds, or forever when ``timeout`` is None. (The previous
+        implementation inferred blocking from the truthiness of ``timeout``,
+        so ``get(timeout=0)`` silently became non-blocking and
+        ``get(timeout=None)`` could never block.)
+        """
+        chaos = self.chaos
+        if chaos is not None:
+            chaos("queue.get", None)
+        if block:
+            job = self._queue.get(block=True, timeout=timeout)
+        else:
+            job = self._queue.get_nowait()
         if isinstance(job, SplitJob):
-            # Clear the dedup marker at dequeue time: appends landing while
-            # the split runs must be able to schedule a fresh job.
-            with self._split_lock:
+            with self._dedup_lock:
                 self._pending_splits.discard(job.posting_id)
+        elif isinstance(job, MergeJob):
+            with self._dedup_lock:
+                self._pending_merges.discard(job.posting_id)
+        if chaos is not None:
+            chaos("queue.got", getattr(job, "posting_id", None))
         return job
 
     def task_done(self) -> None:
@@ -99,49 +139,129 @@ class JobQueue:
         return self._queue.empty()
 
 
+class _LockEntry:
+    """One posting's lock plus the bookkeeping that keeps it alive.
+
+    ``refs`` counts threads currently inside :meth:`PostingLockManager.hold`
+    for this posting (blocked or holding). ``retired`` marks the posting as
+    deleted; the entry is physically dropped only when the last reference
+    goes away, so every contender observes the *same* lock object for the
+    posting's entire lifetime.
+    """
+
+    __slots__ = ("lock", "refs", "retired")
+
+    def __init__(self) -> None:
+        self.lock = threading.RLock()
+        self.refs = 0
+        self.retired = False
+
+
 class PostingLockManager:
     """Fine-grained posting-level write locks (paper §4.2.2).
 
     Append, split, and merge serialize per posting; reads stay lock-free.
     ``hold`` acquires multiple locks in sorted id order to avoid deadlock
     between concurrent merges touching overlapping postings.
+
+    Lock entries are refcounted. A naive ``dict[pid, RLock]`` with
+    ``forget`` popping the entry has a lifecycle race: thread A holds the
+    lock, thread B is blocked on the same lock object, ``forget`` drops the
+    dict entry, and thread C then mints a *fresh* lock for the same posting
+    id — C and A (or C and B) now run "mutually excluded" critical sections
+    concurrently. Here ``forget`` only marks the entry retired; the entry
+    is recycled when the reference count reaches zero, so all contenders
+    for a posting id always share one lock object.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, stats=None, chaos: ChaosHook = None) -> None:
         self._meta = threading.Lock()
-        self._locks: dict[int, threading.RLock] = {}
+        self._locks: dict[int, _LockEntry] = {}
+        self.stats = stats
+        self.chaos: ChaosHook = chaos
         self.contention_checks = 0
         self.contention_hits = 0
+        self.lock_recycles = 0
 
-    def _lock_for(self, posting_id: int) -> threading.RLock:
+    # ------------------------------------------------------------------
+    # entry lifecycle
+    # ------------------------------------------------------------------
+    def _pin(self, posting_id: int) -> _LockEntry:
+        """Look up (or create) the entry and take a reference on it."""
         with self._meta:
-            lock = self._locks.get(posting_id)
-            if lock is None:
-                lock = threading.RLock()
-                self._locks[posting_id] = lock
-            return lock
+            entry = self._locks.get(posting_id)
+            if entry is None:
+                entry = _LockEntry()
+                self._locks[posting_id] = entry
+            entry.refs += 1
+            return entry
 
+    def _unpin(self, posting_id: int, entry: _LockEntry) -> None:
+        """Drop a reference; recycle the entry if it was the last one."""
+        with self._meta:
+            entry.refs -= 1
+            if (
+                entry.refs == 0
+                and entry.retired
+                and self._locks.get(posting_id) is entry
+            ):
+                del self._locks[posting_id]
+                self._count_recycle()
+
+    def _count_recycle(self) -> None:
+        self.lock_recycles += 1
+        if self.stats is not None:
+            self.stats.incr("lock_recycles")
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
     @contextmanager
     def hold(self, *posting_ids: int):
         ordered = sorted(set(posting_ids))
-        locks = [self._lock_for(pid) for pid in ordered]
-        acquired: list[threading.RLock] = []
+        chaos = self.chaos
+        pinned = [(pid, self._pin(pid)) for pid in ordered]
+        acquired: list[_LockEntry] = []
         try:
-            for lock in locks:
+            for pid, entry in pinned:
+                if chaos is not None:
+                    chaos("lock.acquire", pid)
                 self.contention_checks += 1
-                if not lock.acquire(blocking=False):
+                if not entry.lock.acquire(blocking=False):
                     self.contention_hits += 1
-                    lock.acquire()
-                acquired.append(lock)
+                    entry.lock.acquire()
+                acquired.append(entry)
+                if chaos is not None:
+                    chaos("lock.acquired", pid)
             yield
         finally:
-            for lock in reversed(acquired):
-                lock.release()
+            for entry in reversed(acquired):
+                entry.lock.release()
+            for pid, entry in pinned:
+                self._unpin(pid, entry)
 
     def forget(self, posting_id: int) -> None:
-        """Drop the lock object of a deleted posting (bounds memory)."""
+        """Retire the lock of a deleted posting (bounds memory).
+
+        The entry is dropped immediately only if no thread references it;
+        otherwise the last contender to leave :meth:`hold` recycles it.
+        Posting ids are never reused, so a retired-but-referenced entry
+        staying in the table cannot collide with a future posting.
+        """
         with self._meta:
-            self._locks.pop(posting_id, None)
+            entry = self._locks.get(posting_id)
+            if entry is None:
+                return
+            entry.retired = True
+            if entry.refs == 0:
+                del self._locks[posting_id]
+                self._count_recycle()
+
+    @property
+    def live_locks(self) -> int:
+        """Number of lock entries currently in the table (for tests/stats)."""
+        with self._meta:
+            return len(self._locks)
 
     @property
     def contention_rate(self) -> float:

@@ -16,6 +16,7 @@ from dataclasses import dataclass
 
 from repro.core.jobs import MergeJob, SplitJob
 from repro.spann.postings import live_view
+from repro.util.errors import StalePostingError
 
 
 @dataclass
@@ -55,18 +56,18 @@ class MaintenanceScanner:
                 break
             try:
                 data, _ = self.index.controller.get(pid)
-            except Exception:
-                continue  # deleted concurrently
+            except StalePostingError:
+                continue  # deleted concurrently; real storage errors propagate
             report.postings_scanned += 1
             live = live_view(data, self.index.version_map)
             dead = len(data) - len(live)
             report.dead_entries_seen += dead
             if len(live) > config.max_posting_size and config.enable_split:
-                self.index.job_queue.put(SplitJob(posting_id=pid))
-                report.splits_scheduled += 1
+                if self.index.job_queue.put(SplitJob(posting_id=pid)):
+                    report.splits_scheduled += 1
             elif len(live) < config.min_posting_size and config.enable_merge:
-                self.index.job_queue.put(MergeJob(posting_id=pid))
-                report.merges_scheduled += 1
+                if self.index.job_queue.put(MergeJob(posting_id=pid)):
+                    report.merges_scheduled += 1
             elif dead and dead / len(data) >= self.garbage_threshold:
                 with self.index.locks.hold(pid):
                     if self.index.controller.exists(pid):

@@ -73,6 +73,11 @@ class LocalRebuilder:
         self._current_job_kind = "other"
         self._workers: list[threading.Thread] = []
         self._stop = threading.Event()
+        # Exceptions that escaped a background job. A worker that died on
+        # an unhandled error would silently shrink pipeline capacity, so
+        # the loop records the failure and keeps serving the queue; the
+        # stress harness asserts this list stays empty.
+        self.worker_errors: list[BaseException] = []
 
     # ------------------------------------------------------------------
     # job dispatch
@@ -142,11 +147,14 @@ class LocalRebuilder:
     def _worker_loop(self) -> None:
         while not self._stop.is_set():
             try:
-                job = self.job_queue.get(timeout=0.02)
+                job = self.job_queue.get(timeout=0.02, block=True)
             except queue.Empty:
                 continue
             try:
                 self.process(job)
+            except Exception as exc:  # noqa: BLE001 — keep the worker alive
+                self.worker_errors.append(exc)
+                self.stats.incr("worker_errors")
             finally:
                 self.job_queue.task_done()
 

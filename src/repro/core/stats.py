@@ -31,6 +31,11 @@ class StatsSnapshot:
     reassign_aborted_npa: int = 0
     reassign_posting_missing: int = 0
     split_cascade_max_depth: int = 0
+    # Concurrency-correctness layer (lock lifecycle, chaos harness).
+    lock_recycles: int = 0
+    chaos_yields: int = 0
+    invariant_checks: int = 0
+    worker_errors: int = 0
 
     def delta(self, earlier: "StatsSnapshot") -> "StatsSnapshot":
         values = {

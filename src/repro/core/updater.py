@@ -82,6 +82,11 @@ class Updater:
                 self.stats.incr("inserts")
                 self.stats.incr("appends", placed)
                 return latency
+        # The vector was registered but never landed on disk. Tombstone it
+        # before failing so the version map does not advertise a live id
+        # with zero replicas (a conservation violation every audit and
+        # future reassign would trip over).
+        self.version_map.delete(vector_id)
         raise IndexError_(
             f"insert of vector {vector_id} kept racing with posting splits"
         )

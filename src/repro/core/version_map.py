@@ -155,6 +155,18 @@ class VersionMap:
             fresh = (current & VERSION_MASK) == (versions & VERSION_MASK)
             return known & undeleted & fresh
 
+    def live_ids(self) -> np.ndarray:
+        """All registered, undeleted vector ids (ascending).
+
+        Used by the invariant checker to cross-reference the map against
+        on-disk postings; O(capacity) vectorized scan, so intended for
+        audits rather than hot paths.
+        """
+        with self._lock:
+            known = self._bytes != _UNREGISTERED
+            undeleted = (self._bytes & DELETED_BIT) == 0
+            return np.nonzero(known & undeleted)[0].astype(np.int64)
+
     # ------------------------------------------------------------------
     # accounting / snapshots
     # ------------------------------------------------------------------

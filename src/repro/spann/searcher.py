@@ -75,12 +75,19 @@ class SpannSearcher:
 
     # ------------------------------------------------------------------
     def _budget_prefix(self, posting_ids: list[int]) -> tuple[list[int], bool]:
-        """Longest prefix of candidate postings that fits the latency budget."""
+        """Longest prefix of candidate postings that fits the latency budget.
+
+        The projected cost mirrors the latency actually charged to the
+        query: read waves for the cumulative blocks plus the fixed
+        navigation CPU plus the per-entry scan CPU — so the truncation
+        decision and the reported latency agree.
+        """
         if self.latency_budget_us is None:
             return posting_ids, False
         profile = self.controller.ssd.profile
         codec = self.controller.codec
         cum_blocks = 0
+        cum_entries = 0
         kept: list[int] = []
         for pid in posting_ids:
             try:
@@ -88,11 +95,16 @@ class SpannSearcher:
             except StalePostingError:
                 continue
             blocks = codec.blocks_needed(length)
-            projected = profile.read_batch_latency_us(cum_blocks + blocks)
-            if kept and projected + self.cpu_cost_per_query_us > self.latency_budget_us:
+            projected = (
+                profile.read_batch_latency_us(cum_blocks + blocks)
+                + self.cpu_cost_per_query_us
+                + self.cpu_cost_per_entry_us * (cum_entries + length)
+            )
+            if kept and projected > self.latency_budget_us:
                 return kept, True
             kept.append(pid)
             cum_blocks += blocks
+            cum_entries += length
         return kept, False
 
     def search(
@@ -147,9 +159,11 @@ class SpannSearcher:
         )
         latency = io_latency + cpu_latency
         if truncated and self.latency_budget_us is not None:
-            latency = max(latency, self.latency_budget_us)
-        if self.latency_budget_us is not None:
-            latency = min(latency, self.latency_budget_us)
+            # The hard cut charges truncated queries exactly the budget
+            # (degraded results at budget latency, Figure 2/7 semantics).
+            # Non-truncated queries report their true cost — clamping them
+            # too would hide over-budget outliers from the measurements.
+            latency = self.latency_budget_us
         return SearchResult(
             ids=top_ids,
             distances=top_dists,
@@ -171,7 +185,10 @@ class SpannSearcher:
         (the paper's ParallelGET rationale, applied cross-query). Each
         returned result carries the *shared* batch I/O latency — the
         completion time of the batched submission — plus its own CPU term.
-        The per-query latency budget is not applied in batch mode.
+        The per-query latency budget is not applied in batch mode; query-
+        aware pruning and undersized-posting (merge trigger) reporting
+        match :meth:`search`, so batch workloads drive the same
+        maintenance signals as single-query ones.
         """
         queries = [as_vector(q, self.centroid_index.dim) for q in queries]
         nprobe = nprobe or self.default_nprobe
@@ -180,6 +197,13 @@ class SpannSearcher:
         for query in queries:
             hits = self.centroid_index.search(query, nprobe)
             pids = [int(p) for p in hits.posting_ids]
+            if self.prune_epsilon is not None and len(hits) > 1:
+                limit = (1.0 + self.prune_epsilon) ** 2 * float(hits.distances[0])
+                pids = [
+                    int(pid)
+                    for pid, dist in zip(hits.posting_ids, hits.distances)
+                    if float(dist) <= limit
+                ]
             per_query_pids.append(pids)
             for pid in pids:
                 union[pid] = None
@@ -190,6 +214,7 @@ class SpannSearcher:
             all_ids: list[np.ndarray] = []
             all_dists: list[np.ndarray] = []
             entries = 0
+            undersized: list[int] = []
             for pid in pids:
                 data = postings.get(pid)
                 if data is None:
@@ -199,6 +224,8 @@ class SpannSearcher:
                     live = live_view(data, self.version_map)
                     live_cache[pid] = live
                 entries += len(data)
+                if self.min_posting_size and len(live) < self.min_posting_size:
+                    undersized.append(pid)
                 if len(live) == 0:
                     continue
                 all_ids.append(live.ids)
@@ -219,6 +246,7 @@ class SpannSearcher:
                     postings_probed=len(pids),
                     entries_scanned=entries,
                     io_latency_us=io_latency,
+                    undersized_postings=undersized,
                 )
             )
         return results

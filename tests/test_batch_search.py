@@ -43,3 +43,50 @@ class TestSearchBatch:
         for r in results:
             assert r.latency_us >= r.io_latency_us
             assert r.entries_scanned > 0
+
+
+class TestBatchSearchParity:
+    """search_many must drive the same pruning and maintenance signals as
+    search — batch-only workloads previously never triggered merges."""
+
+    def test_prune_epsilon_respected(self, built_index, vectors):
+        searcher = built_index.searcher
+        searcher.latency_budget_us = None  # isolate pruning from the budget
+        searcher.prune_epsilon = 0.05
+        queries = vectors[:8] + 0.01
+        batch = built_index.search_batch(queries, 5, nprobe=8)
+        singles = [built_index.search(q, 5, nprobe=8) for q in queries]
+        for b, s in zip(batch, singles):
+            assert b.postings_probed == s.postings_probed
+            assert set(map(int, b.ids)) == set(map(int, s.ids))
+
+    def test_undersized_postings_reported(self, built_index, vectors):
+        # Shrink one posting below the merge threshold by deleting all but
+        # one of its live vectors, then look at it from both search paths.
+        from repro.spann.postings import live_view
+
+        pid = built_index.controller.posting_ids()[0]
+        data, _ = built_index.controller.get(pid)
+        live = live_view(data, built_index.version_map)
+        for vid in list(map(int, live.ids))[:-1]:
+            built_index.delete(vid)
+        centroid = built_index.centroid_index.get(pid)
+        single = built_index.searcher.search(centroid, 5, nprobe=4)
+        batch = built_index.searcher.search_many(centroid[None, :], 5, nprobe=4)[0]
+        assert pid in single.undersized_postings
+        assert batch.undersized_postings == single.undersized_postings
+
+    def test_batch_search_triggers_merges(self, built_index, vectors):
+        """End to end: index.search_batch schedules (deduplicated) merge
+        jobs and drains them in synchronous mode, like index.search."""
+        from repro.spann.postings import live_view
+
+        pid = built_index.controller.posting_ids()[0]
+        data, _ = built_index.controller.get(pid)
+        live = live_view(data, built_index.version_map)
+        for vid in list(map(int, live.ids))[:-1]:
+            built_index.delete(vid)
+        centroid = built_index.centroid_index.get(pid)
+        before = built_index.stats.merge_jobs
+        built_index.search_batch(np.vstack([centroid, centroid]), 5, nprobe=4)
+        assert built_index.stats.merge_jobs >= before + 1

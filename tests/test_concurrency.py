@@ -85,6 +85,136 @@ class TestLockManager:
         assert not errors
 
 
+class TestLockLifecycle:
+    """Regression tests for the forget/hold lifecycle race.
+
+    On the seed implementation ``forget`` popped the lock entry outright,
+    so a thread arriving after the forget minted a *fresh* lock while the
+    old one was still held/contended — two threads inside "mutually
+    excluded" critical sections for the same posting id.
+    """
+
+    def test_forget_while_held_still_mutually_excludes(self):
+        locks = PostingLockManager()
+        in_critical = threading.Event()
+        release = threading.Event()
+        overlap = threading.Event()
+
+        def first_holder():
+            with locks.hold(7):
+                in_critical.set()
+                release.wait(timeout=5)
+
+        def late_contender():
+            with locks.hold(7):
+                if not release.is_set():
+                    overlap.set()  # entered while first_holder still held
+
+        t1 = threading.Thread(target=first_holder)
+        t1.start()
+        assert in_critical.wait(timeout=5)
+        locks.forget(7)  # posting deleted while its lock is held
+        t2 = threading.Thread(target=late_contender)
+        t2.start()
+        t2.join(timeout=0.3)  # must still be blocked on the shared lock
+        assert not overlap.is_set(), "contender entered while lock was held"
+        release.set()
+        t1.join(timeout=5)
+        t2.join(timeout=5)
+        assert not overlap.is_set()
+
+    def test_contenders_across_forget_stay_exclusive(self):
+        """Two threads hammering one posting across repeated forgets never
+        overlap in the critical section."""
+        import time
+
+        locks = PostingLockManager()
+        guard = threading.Lock()
+        state = {"active": 0, "max_active": 0}
+        stop = threading.Event()
+
+        def worker():
+            for _ in range(60):
+                with locks.hold(3):
+                    with guard:
+                        state["active"] += 1
+                        state["max_active"] = max(
+                            state["max_active"], state["active"]
+                        )
+                    time.sleep(0.0003)
+                    with guard:
+                        state["active"] -= 1
+
+        def forgetter():
+            while not stop.is_set():
+                locks.forget(3)
+                time.sleep(0.0001)
+
+        workers = [threading.Thread(target=worker) for _ in range(3)]
+        killer = threading.Thread(target=forgetter)
+        killer.start()
+        for t in workers:
+            t.start()
+        for t in workers:
+            t.join(timeout=30)
+        stop.set()
+        killer.join(timeout=5)
+        assert state["max_active"] == 1
+
+    def test_forget_unreferenced_entry_recycles_immediately(self):
+        locks = PostingLockManager()
+        with locks.hold(1):
+            pass
+        assert locks.live_locks == 1
+        locks.forget(1)
+        assert locks.live_locks == 0
+        assert locks.lock_recycles == 1
+
+    def test_forget_referenced_entry_recycles_at_last_unpin(self):
+        locks = PostingLockManager()
+        in_critical = threading.Event()
+        release = threading.Event()
+
+        def holder():
+            with locks.hold(2):
+                in_critical.set()
+                release.wait(timeout=5)
+
+        t = threading.Thread(target=holder)
+        t.start()
+        assert in_critical.wait(timeout=5)
+        locks.forget(2)
+        assert locks.live_locks == 1  # pinned by the holder, not dropped
+        assert locks.lock_recycles == 0
+        release.set()
+        t.join(timeout=5)
+        assert locks.live_locks == 0
+        assert locks.lock_recycles == 1
+
+    def test_forget_unknown_posting_is_noop(self):
+        locks = PostingLockManager()
+        locks.forget(12345)
+        assert locks.lock_recycles == 0
+
+    def test_recycles_reported_to_stats(self):
+        from repro.core.stats import LireStats
+
+        stats = LireStats()
+        locks = PostingLockManager(stats=stats)
+        with locks.hold(5):
+            pass
+        locks.forget(5)
+        assert stats.lock_recycles == 1
+
+    def test_chaos_hook_called_at_acquisition(self):
+        points = []
+        locks = PostingLockManager(chaos=lambda point, pid: points.append((point, pid)))
+        with locks.hold(4, 9):
+            pass
+        assert ("lock.acquire", 4) in points
+        assert ("lock.acquired", 9) in points
+
+
 class TestBackgroundPipeline:
     @pytest.fixture
     def async_index(self, vectors, small_config):

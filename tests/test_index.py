@@ -142,6 +142,35 @@ class TestMaintenance:
         assert sum(histogram.values()) == len(vectors)
         assert all(count >= 1 for count in histogram)
 
+    def test_replica_histogram_skips_stale_postings(self, built_index, vectors):
+        from repro.util.errors import StalePostingError
+
+        replica_mass = lambda h: sum(rc * freq for rc, freq in h.items())  # noqa: E731
+        baseline = replica_mass(built_index.replica_histogram())
+        original_get = built_index.controller.get
+        skipped_pid = built_index.controller.posting_ids()[0]
+
+        def flaky_get(pid):
+            if pid == skipped_pid:
+                raise StalePostingError(f"posting {pid} does not exist")
+            return original_get(pid)
+
+        built_index.controller.get = flaky_get
+        # Concurrently-deleted postings are skipped, not fatal.
+        assert replica_mass(built_index.replica_histogram()) < baseline
+
+    def test_replica_histogram_propagates_storage_errors(self, built_index):
+        """Regression: a blanket ``except Exception`` used to silently
+        swallow real storage failures, not just concurrent deletions."""
+        from repro.util.errors import StorageError
+
+        def broken_get(pid):
+            raise StorageError("device read failed")
+
+        built_index.controller.get = broken_get
+        with pytest.raises(StorageError):
+            built_index.replica_histogram()
+
     def test_checkpoint_requires_snapshot_manager(self, built_index):
         with pytest.raises(ValueError):
             built_index.checkpoint()

@@ -1,0 +1,117 @@
+"""Tests for the whole-index invariant checker (repro/core/invariants.py)."""
+
+import numpy as np
+import pytest
+
+from repro.core.invariants import InvariantViolation, check_invariants
+from repro.storage.layout import PostingData
+
+
+def empty_posting(dim: int) -> PostingData:
+    return PostingData.from_rows(
+        np.empty(0, dtype=np.int64),
+        np.empty(0, dtype=np.uint8),
+        np.empty((0, dim), dtype=np.float32),
+    )
+
+
+class TestCleanIndex:
+    def test_built_index_passes(self, built_index):
+        report = check_invariants(built_index)
+        assert report.ok, report.failures
+        assert report.live_vectors == built_index.live_vector_count
+        assert report.postings == built_index.num_postings
+        assert report.npa_checked > 0
+
+    def test_passes_after_churn_and_drain(self, built_index, rng):
+        from tests.conftest import DIM
+
+        for i in range(150):
+            built_index.insert(50_000 + i, rng.normal(size=DIM).astype(np.float32))
+        for i in range(0, 150, 3):
+            built_index.delete(50_000 + i)
+        built_index.drain()
+        report = check_invariants(built_index)
+        assert report.ok, report.failures
+
+    def test_counter_incremented(self, built_index):
+        assert built_index.stats.invariant_checks == 0
+        built_index.check_invariants()
+        assert built_index.stats.invariant_checks == 1
+
+    def test_raise_if_failed_noop_when_ok(self, built_index):
+        check_invariants(built_index).raise_if_failed()
+
+
+class TestViolationDetection:
+    def test_detects_lost_vector(self, built_index):
+        """A live id in the version map with no live replica on disk."""
+        ghost = 777_777
+        built_index.version_map.register(ghost)
+        report = check_invariants(built_index)
+        assert ghost in report.lost_vectors
+        assert not report.ok
+        with pytest.raises(InvariantViolation):
+            report.raise_if_failed()
+
+    def test_detects_stale_only_vector(self, built_index):
+        """Bumping a vector's version makes every on-disk copy stale."""
+        vid = 0
+        version = built_index.version_map.current_version(vid)
+        built_index.version_map.cas_bump(vid, version)
+        report = check_invariants(built_index)
+        assert vid in report.lost_vectors
+
+    def test_detects_oversized_posting(self, built_index, rng):
+        from tests.conftest import DIM
+
+        pid = built_index.controller.posting_ids()[0]
+        n = built_index.config.max_posting_size + 5
+        ids = np.arange(600_000, 600_000 + n)
+        for vid in ids:
+            built_index.version_map.register(int(vid))
+        built_index.controller.append(
+            pid,
+            PostingData.from_rows(
+                ids,
+                np.zeros(n, dtype=np.uint8),
+                rng.normal(size=(n, DIM)).astype(np.float32),
+            ),
+        )
+        report = check_invariants(built_index, npa_sample=0)
+        assert any(p == pid for p, _ in report.oversized_postings)
+        ok_report = check_invariants(
+            built_index, npa_sample=0, check_size_bounds=False
+        )
+        assert not ok_report.oversized_postings
+
+    def test_detects_posting_without_centroid(self, built_index):
+        pid = built_index.controller.posting_ids()[0]
+        built_index.centroid_index.remove(pid)
+        report = check_invariants(built_index, npa_sample=0)
+        assert pid in report.postings_without_centroid
+
+    def test_detects_centroid_without_posting(self, built_index):
+        built_index.centroid_index.add(
+            999, np.zeros(built_index.config.dim, dtype=np.float32)
+        )
+        report = check_invariants(built_index, npa_sample=0)
+        assert 999 in report.centroids_without_posting
+
+    def test_detects_npa_violation(self, built_index):
+        """Planting an empty posting whose centroid sits exactly on a live
+        vector makes that vector's nearest posting hold no copy of it."""
+        from tests.helpers import live_vector_of
+
+        vid = int(built_index.version_map.live_ids()[0])
+        vector = live_vector_of(built_index, vid)
+        fake_pid = built_index.posting_ids.next()
+        built_index.controller.create(fake_pid, empty_posting(built_index.config.dim))
+        built_index.centroid_index.add(fake_pid, vector.copy())
+        report = check_invariants(
+            built_index,
+            npa_sample=built_index.live_vector_count,
+            npa_allowance=0,
+        )
+        assert vid in report.npa_violations
+        assert not report.ok

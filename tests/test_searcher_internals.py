@@ -57,6 +57,54 @@ class TestLatencyMath:
         waves = result.io_latency_us / profile.read_latency_us
         assert waves == pytest.approx(round(waves))
 
+    def test_truncated_query_charged_exactly_budget(self, vectors, small_config):
+        config = small_config.with_overrides(search_latency_budget_us=200.0)
+        index = SPFreshIndex.build(vectors, config=config)
+        result = index.search(vectors[0], 5, nprobe=64)
+        assert result.truncated
+        assert result.latency_us == pytest.approx(200.0)
+
+    def test_untruncated_over_budget_query_reports_true_latency(
+        self, vectors, small_config
+    ):
+        """Regression: the blanket min(latency, budget) clamp hid over-budget
+        queries that were never truncated (a single too-large first posting),
+        skewing Fig-2/Fig-7 style measurements."""
+        index = SPFreshIndex.build(vectors, config=small_config)
+        # One candidate posting only: the prefix always keeps the first, so
+        # truncation can never trigger, however far over budget it runs.
+        index.searcher.latency_budget_us = 1.0
+        result = index.search(vectors[0], 5, nprobe=1)
+        assert not result.truncated
+        assert result.latency_us > 1.0
+        expected_cpu = (
+            index.searcher.cpu_cost_per_query_us
+            + index.searcher.cpu_cost_per_entry_us * result.entries_scanned
+        )
+        assert result.latency_us == pytest.approx(
+            result.io_latency_us + expected_cpu, rel=1e-6
+        )
+
+    def test_budget_prefix_accounts_cpu_scan_cost(self, built_index):
+        """The truncation decision must include the per-entry CPU term it
+        later charges, not just projected I/O."""
+        searcher = built_index.searcher
+        pids = built_index.controller.posting_ids()[:6]
+        io_only_budget = 1e9  # I/O never the binding constraint
+        searcher.latency_budget_us = io_only_budget
+        kept, truncated = searcher._budget_prefix(pids)
+        assert kept == pids and not truncated
+        # Make the scan cost dominate: a budget the CPU term alone exceeds
+        # after the first posting must truncate the prefix.
+        first_len = built_index.controller.length(pids[0])
+        searcher.cpu_cost_per_entry_us = 1e6
+        searcher.latency_budget_us = (
+            searcher.cpu_cost_per_query_us + 1e6 * (first_len + 0.5)
+        )
+        kept, truncated = searcher._budget_prefix(pids)
+        assert truncated
+        assert kept == pids[:1]
+
 
 class TestBuildDeterminism:
     def test_same_seed_same_index(self, vectors, small_config):

@@ -6,7 +6,7 @@ import numpy as np
 import pytest
 
 from repro.core.ids import IdAllocator
-from repro.core.jobs import JobQueue, ReassignJob, SplitJob
+from repro.core.jobs import JobQueue, MergeJob, ReassignJob, SplitJob
 from repro.core.stats import LireStats, StatsSnapshot
 
 
@@ -86,6 +86,84 @@ class TestJobQueue:
         q.get()
         q.task_done()
         q.join()  # returns immediately
+
+    def test_get_default_is_nonblocking(self):
+        import queue as queue_mod
+        import time
+
+        q = JobQueue()
+        start = time.perf_counter()
+        with pytest.raises(queue_mod.Empty):
+            q.get()
+        # Regression: a falsy timeout must not silently change semantics.
+        with pytest.raises(queue_mod.Empty):
+            q.get(timeout=0)
+        assert time.perf_counter() - start < 0.5
+
+    def test_get_block_waits_for_producer(self):
+        q = JobQueue()
+
+        def producer():
+            import time
+
+            time.sleep(0.05)
+            q.put(SplitJob(posting_id=9))
+
+        t = threading.Thread(target=producer)
+        t.start()
+        # Seed bug: get(timeout=None) could never block; this would raise
+        # Empty immediately instead of waiting for the producer.
+        job = q.get(block=True)
+        t.join()
+        assert job.posting_id == 9
+
+    def test_get_block_honors_timeout(self):
+        import queue as queue_mod
+
+        q = JobQueue()
+        with pytest.raises(queue_mod.Empty):
+            q.get(timeout=0.02, block=True)
+
+    def test_split_jobs_deduplicated(self):
+        q = JobQueue()
+        assert q.put(SplitJob(posting_id=1))
+        assert not q.put(SplitJob(posting_id=1))
+        assert q.pending == 1
+        q.get()
+        q.task_done()
+        # Marker cleared at dequeue: a fresh job can be scheduled.
+        assert q.put(SplitJob(posting_id=1))
+
+    def test_merge_jobs_deduplicated(self):
+        q = JobQueue()
+        assert q.put(MergeJob(posting_id=4))
+        assert not q.put(MergeJob(posting_id=4))
+        assert q.put(MergeJob(posting_id=5))
+        assert q.pending == 2
+        assert q.get().posting_id == 4
+        q.task_done()
+        assert q.put(MergeJob(posting_id=4))  # cleared at dequeue
+
+    def test_split_and_merge_dedup_independent(self):
+        q = JobQueue()
+        assert q.put(SplitJob(posting_id=1))
+        assert q.put(MergeJob(posting_id=1))  # different kind, same pid
+        assert q.pending == 2
+
+    def test_reassign_jobs_never_deduplicated(self):
+        vec = np.ones(4, dtype=np.float32)
+        q = JobQueue()
+        job = ReassignJob(vector_id=1, vector=vec, expected_version=0, source_posting=2)
+        assert q.put(job)
+        assert q.put(job)
+        assert q.pending == 2
+
+    def test_chaos_hook_called_at_dequeue(self):
+        points = []
+        q = JobQueue(chaos=lambda point, detail: points.append(point))
+        q.put(SplitJob(posting_id=1))
+        q.get()
+        assert "queue.get" in points and "queue.got" in points
 
 
 class TestJobTypes:
