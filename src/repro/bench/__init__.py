@@ -12,15 +12,26 @@ from repro.bench.reporting import format_series, format_table
 from repro.bench.cost_model import RebuildCostModel, table1_rows
 
 _STRESS_EXPORTS = ("ChaosSchedule", "StressConfig", "StressReport", "run_stress")
+_CRASH_MATRIX_EXPORTS = (
+    "CrashMatrixConfig",
+    "CrashMatrixReport",
+    "CrashTrial",
+    "run_crash_matrix",
+)
 
 
 def __getattr__(name):
-    # Lazy: keeps `python -m repro.bench.stress` runnable without the
-    # package __init__ pre-importing the submodule (runpy warning).
+    # Lazy: keeps `python -m repro.bench.stress` (and .crash_matrix)
+    # runnable without the package __init__ pre-importing the submodule
+    # (runpy warning).
     if name in _STRESS_EXPORTS:
         from repro.bench import stress
 
         return getattr(stress, name)
+    if name in _CRASH_MATRIX_EXPORTS:
+        from repro.bench import crash_matrix
+
+        return getattr(crash_matrix, name)
     raise AttributeError(name)
 
 
@@ -39,4 +50,8 @@ __all__ = [
     "StressConfig",
     "StressReport",
     "run_stress",
+    "CrashMatrixConfig",
+    "CrashMatrixReport",
+    "CrashTrial",
+    "run_crash_matrix",
 ]

@@ -100,6 +100,9 @@ class SPFreshIndex:
             prune_epsilon=config.search_prune_epsilon,
         )
         self._background_running = False
+        # Populated by restore_index() after a crash recovery; None for a
+        # freshly built index. See repro.core.recovery.RecoveryReport.
+        self.last_recovery = None
 
     # ------------------------------------------------------------------
     # construction

@@ -36,6 +36,14 @@ class StatsSnapshot:
     chaos_yields: int = 0
     invariant_checks: int = 0
     worker_errors: int = 0
+    # Durability layer (crash recovery, fault injection). Mirrors the
+    # fields of the last RecoveryReport so dashboards that only see
+    # counters still observe quarantined/failed WAL records.
+    recoveries: int = 0
+    wal_records_replayed: int = 0
+    wal_records_skipped: int = 0
+    wal_records_quarantined: int = 0
+    recovery_apply_errors: int = 0
 
     def delta(self, earlier: "StatsSnapshot") -> "StatsSnapshot":
         values = {

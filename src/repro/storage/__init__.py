@@ -10,16 +10,20 @@ machinery for crash recovery (§4.4).
 
 from repro.storage.ssd import SimulatedSSD, SSDProfile
 from repro.storage.filedev import FileBackedSSD
+from repro.storage.faults import FaultEvent, FaultInjectingSSD, FaultPlan
 from repro.storage.iostats import IOStats, IOWindow
 from repro.storage.layout import PostingCodec, PostingData
 from repro.storage.controller import BlockController
-from repro.storage.wal import WriteAheadLog, WalRecord
+from repro.storage.wal import WriteAheadLog, WalRecord, WalReplayReport
 from repro.storage.snapshot import SnapshotManager
 from repro.storage.cache import CachedBlockController
 
 __all__ = [
     "SimulatedSSD",
     "FileBackedSSD",
+    "FaultEvent",
+    "FaultInjectingSSD",
+    "FaultPlan",
     "SSDProfile",
     "IOStats",
     "IOWindow",
@@ -28,6 +32,7 @@ __all__ = [
     "BlockController",
     "WriteAheadLog",
     "WalRecord",
+    "WalReplayReport",
     "SnapshotManager",
     "CachedBlockController",
 ]

@@ -238,11 +238,45 @@ class BlockController:
             }
 
     def load_state_dict(self, state: dict) -> None:
-        """Restore mapping + free pool from a snapshot."""
+        """Restore mapping + free pool from a snapshot.
+
+        The state is cross-checked before it is installed: every block id
+        must fit the device geometry and no block may be claimed twice
+        (by two postings, or by a posting and the free pool). A snapshot
+        that passes its CRC footer but fails these checks describes a
+        device the controller cannot safely write to — raising here turns
+        silent future corruption into an explicit recovery failure.
+        """
+        mapping = {
+            int(pid): _PostingMeta(int(length), [int(b) for b in blocks])
+            for pid, (length, blocks) in state["mapping"].items()
+        }
+        free = deque(int(b) for b in state["free"])
+        pre_release = [int(b) for b in state.get("pre_release", [])]
+
+        claimed: set[int] = set()
+        def _claim(block_id: int, owner: str) -> None:
+            if not 0 <= block_id < self.ssd.num_blocks:
+                raise StorageError(
+                    f"snapshot state references block {block_id} outside the "
+                    f"device geometry [0, {self.ssd.num_blocks})"
+                )
+            if block_id in claimed:
+                raise StorageError(
+                    f"snapshot state claims block {block_id} twice "
+                    f"(second claim by {owner})"
+                )
+            claimed.add(block_id)
+
+        for pid, meta in mapping.items():
+            for block_id in meta.blocks:
+                _claim(block_id, f"posting {pid}")
+        for block_id in free:
+            _claim(block_id, "free pool")
+        for block_id in pre_release:
+            _claim(block_id, "pre-release buffer")
+
         with self._lock:
-            self._mapping = {
-                int(pid): _PostingMeta(int(length), list(blocks))
-                for pid, (length, blocks) in state["mapping"].items()
-            }
-            self._free = deque(int(b) for b in state["free"])
-            self._pre_release = [int(b) for b in state.get("pre_release", [])]
+            self._mapping = mapping
+            self._free = free
+            self._pre_release = pre_release

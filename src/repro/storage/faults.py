@@ -1,0 +1,405 @@
+"""Deterministic storage fault injection for crash/recovery testing.
+
+The durability story (paper §4.4: snapshot + WAL replay) is only credible
+if recovery survives a *misbehaving* device, not just a clean shutdown.
+This module provides the adversary:
+
+* :class:`FaultPlan` — a seeded, fully deterministic fault schedule.
+  Every decision is a pure function of ``(seed, op_index)``, so two
+  devices running the same operation sequence under equal plans inject
+  byte-identical faults (and therefore produce identical
+  :class:`~repro.storage.iostats.IOStats`).
+* :class:`FaultInjectingSSD` — a wrapper composing over any block device
+  with the :class:`~repro.storage.ssd.SimulatedSSD` API (including
+  :class:`~repro.storage.filedev.FileBackedSSD`). It counts device
+  operations and consults the plan before each one.
+
+Fault taxonomy (see ``docs/fault-model.md`` for the full contract):
+
+========== =================================================================
+torn write  a prefix of the batch (plus a partial block) reaches the media,
+            then :class:`~repro.util.errors.CrashPoint` is raised — the op
+            is never acknowledged and records no stats.
+dropped     the write is acknowledged (stats recorded, latency returned)
+write       but a subset of blocks silently never hits the media — a
+            volatile-cache loss.
+read error  :class:`~repro.util.errors.InjectedFaultError` is raised before
+            any data moves; the op records no stats (error'd ops must not
+            skew latency/amplification counters).
+corruption  one byte of one payload is flipped before it hits the media;
+            the host sees a successful write.
+crash point ``crash_at_op=N`` raises :class:`CrashPoint` at the Nth device
+            op — before a read, tearing a write. The crash-matrix harness
+            sweeps N over every op of a workload.
+========== =================================================================
+
+The same plan also drives the torn-append/corruption hooks of
+:class:`~repro.storage.wal.WriteAheadLog` (``wal_tear_at`` /
+``wal_corrupt_at``, indexed by lifetime append number) and the
+snapshot-boundary faults of
+:class:`~repro.storage.snapshot.SnapshotManager` (``snapshot_fault`` at
+``snapshot_fault_generation``), so one ``FaultPlan`` describes a full
+crash scenario across all three durability channels.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.storage.iostats import IOStats
+from repro.storage.ssd import SSDProfile
+from repro.util.errors import CrashPoint, InjectedFaultError, StorageError
+
+SNAPSHOT_FAULTS = (
+    "torn-tmp",  # torn temp file, crash before commit (old snapshot survives)
+    "crash-before-commit",  # full temp file written, crash before rename
+    "crash-after-commit",  # crash right after rename (WAL not yet truncated)
+    "corrupt-published",  # torn blob is committed — load() must detect it
+)
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One injected fault, recorded for audits and determinism checks."""
+
+    op_index: int
+    channel: str  # "read" | "write" | "trim" | "wal" | "snapshot"
+    kind: str  # "crash" | "torn" | "dropped" | "read-error" | "corrupt"
+    detail: str = ""
+
+
+class FaultPlan:
+    """Seeded, deterministic fault schedule.
+
+    The plan holds no mutable state: every decision derives from
+    ``(seed, op_index)``, which is what makes a crash reproducible — rerun
+    the same workload under the same plan and the same fault fires at the
+    same byte. ``disarm()`` turns all injection off (recovery runs on the
+    same device object fault-free); ``arm()`` re-enables it for
+    crash/recover/resume cycles.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        *,
+        crash_at_op: int | None = None,
+        read_error_rate: float = 0.0,
+        torn_write_rate: float = 0.0,
+        dropped_write_rate: float = 0.0,
+        corrupt_write_rate: float = 0.0,
+        wal_tear_at: tuple[int, int | None] | None = None,
+        wal_corrupt_at: tuple[int, int | None] | None = None,
+        snapshot_fault: str | None = None,
+        snapshot_fault_generation: int | None = None,
+    ) -> None:
+        for name, rate in (
+            ("read_error_rate", read_error_rate),
+            ("torn_write_rate", torn_write_rate),
+            ("dropped_write_rate", dropped_write_rate),
+            ("corrupt_write_rate", corrupt_write_rate),
+        ):
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {rate}")
+        if torn_write_rate + dropped_write_rate + corrupt_write_rate > 1.0:
+            raise ValueError("write fault rates must sum to at most 1")
+        if snapshot_fault is not None and snapshot_fault not in SNAPSHOT_FAULTS:
+            raise ValueError(
+                f"unknown snapshot_fault {snapshot_fault!r}; "
+                f"choose from {SNAPSHOT_FAULTS}"
+            )
+        self.seed = seed
+        self.crash_at_op = crash_at_op
+        self.read_error_rate = read_error_rate
+        self.torn_write_rate = torn_write_rate
+        self.dropped_write_rate = dropped_write_rate
+        self.corrupt_write_rate = corrupt_write_rate
+        self.wal_tear_at = wal_tear_at
+        self.wal_corrupt_at = wal_corrupt_at
+        self.snapshot_fault = snapshot_fault
+        self.snapshot_fault_generation = snapshot_fault_generation
+        self.armed = True
+
+    # ------------------------------------------------------------------
+    def arm(self) -> "FaultPlan":
+        self.armed = True
+        return self
+
+    def disarm(self) -> "FaultPlan":
+        """Disable all injection (the post-crash recovery runs fault-free)."""
+        self.armed = False
+        return self
+
+    # ------------------------------------------------------------------
+    # deterministic decision streams
+    # ------------------------------------------------------------------
+    def _rng(self, op_index: int, salt: int) -> random.Random:
+        # Explicit integer mixing (not hash()) so the stream is identical
+        # across processes and independent of call-order history.
+        return random.Random((self.seed + 1) * 1_000_003 + op_index * 7919 + salt)
+
+    def crashes_at(self, op_index: int) -> bool:
+        return self.armed and self.crash_at_op == op_index
+
+    def read_error(self, op_index: int) -> bool:
+        if not self.armed or self.read_error_rate <= 0.0:
+            return False
+        return self._rng(op_index, 1).random() < self.read_error_rate
+
+    def write_fault(self, op_index: int) -> str | None:
+        """One of None / 'torn' / 'dropped' / 'corrupt' for this write op."""
+        if not self.armed:
+            return None
+        total = self.torn_write_rate + self.dropped_write_rate + self.corrupt_write_rate
+        if total <= 0.0:
+            return None
+        roll = self._rng(op_index, 2).random()
+        if roll < self.torn_write_rate:
+            return "torn"
+        if roll < self.torn_write_rate + self.dropped_write_rate:
+            return "dropped"
+        if roll < total:
+            return "corrupt"
+        return None
+
+    def torn_shape(
+        self, op_index: int, num_blocks: int, block_size: int
+    ) -> tuple[int, int]:
+        """(full blocks committed, bytes of the next block) for a torn write."""
+        rng = self._rng(op_index, 3)
+        keep = rng.randrange(num_blocks) if num_blocks > 0 else 0
+        partial = rng.randrange(block_size)
+        return keep, partial
+
+    def dropped_blocks(self, op_index: int, num_blocks: int) -> set[int]:
+        """Batch positions (not block ids) silently lost by a dropped write."""
+        rng = self._rng(op_index, 4)
+        count = 1 + rng.randrange(num_blocks)
+        return set(rng.sample(range(num_blocks), count))
+
+    def corrupt_site(
+        self, op_index: int, num_blocks: int, block_size: int
+    ) -> tuple[int, int, int]:
+        """(batch position, byte offset, xor mask) for a corrupting write."""
+        rng = self._rng(op_index, 5)
+        position = rng.randrange(num_blocks)
+        offset = rng.randrange(block_size)
+        mask = 1 << rng.randrange(8)
+        return position, offset, mask
+
+    # ------------------------------------------------------------------
+    # WAL / snapshot hooks (consulted by WriteAheadLog and SnapshotManager)
+    # ------------------------------------------------------------------
+    def wal_action(self, append_index: int) -> tuple[str, int | None] | None:
+        """Fault for the Nth WAL append of the log's lifetime, if any."""
+        if not self.armed:
+            return None
+        if self.wal_tear_at is not None and append_index == self.wal_tear_at[0]:
+            return ("tear", self.wal_tear_at[1])
+        if self.wal_corrupt_at is not None and append_index == self.wal_corrupt_at[0]:
+            return ("corrupt", self.wal_corrupt_at[1])
+        return None
+
+    def snapshot_action(self, generation: int) -> str | None:
+        """Fault for the snapshot save producing ``generation``, if any."""
+        if not self.armed or self.snapshot_fault is None:
+            return None
+        if (
+            self.snapshot_fault_generation is not None
+            and generation != self.snapshot_fault_generation
+        ):
+            return None
+        return self.snapshot_fault
+
+
+class FaultInjectingSSD:
+    """Block device wrapper that injects faults from a :class:`FaultPlan`.
+
+    Mirrors the :class:`~repro.storage.ssd.SimulatedSSD` API, so the Block
+    Controller (and everything above it) runs unmodified. Every
+    ``read_blocks`` / ``write_blocks`` / ``trim`` call consumes one *device
+    op index*; the plan decides per index. Accounting contract:
+
+    * acknowledged ops (clean, dropped, corrupt) record normal IOStats;
+    * failed ops (read errors) and crashed ops (torn writes, crash points)
+      record **nothing** — an op the host never saw complete must not skew
+      latency or amplification counters.
+
+    Injected faults are appended to :attr:`events` for audits; under a
+    fixed seed, two identical op sequences produce identical event lists.
+    """
+
+    def __init__(self, inner, plan: FaultPlan | None = None) -> None:
+        self.inner = inner
+        self.plan = plan
+        self.op_index = 0
+        self.events: list[FaultEvent] = []
+
+    # ------------------------------------------------------------------
+    # delegated geometry / accounting
+    # ------------------------------------------------------------------
+    @property
+    def profile(self) -> SSDProfile:
+        return self.inner.profile
+
+    @property
+    def block_size(self) -> int:
+        return self.inner.block_size
+
+    @property
+    def num_blocks(self) -> int:
+        return self.inner.num_blocks
+
+    @property
+    def capacity_bytes(self) -> int:
+        return self.inner.capacity_bytes
+
+    @property
+    def stats(self) -> IOStats:
+        return self.inner.stats
+
+    # ------------------------------------------------------------------
+    def _next_op(self) -> int:
+        index = self.op_index
+        self.op_index += 1
+        return index
+
+    def _log(self, op_index: int, channel: str, kind: str, detail: str = "") -> None:
+        self.events.append(FaultEvent(op_index, channel, kind, detail))
+
+    # ------------------------------------------------------------------
+    # block primitives (SimulatedSSD API)
+    # ------------------------------------------------------------------
+    def read_blocks(self, block_ids: list[int]) -> tuple[list[bytes], float]:
+        index = self._next_op()
+        plan = self.plan
+        if plan is not None and plan.armed:
+            if plan.crashes_at(index):
+                self._log(index, "read", "crash")
+                raise CrashPoint(f"injected crash at device op {index} (read)")
+            if plan.read_error(index):
+                self._log(index, "read", "read-error")
+                raise InjectedFaultError(
+                    f"injected read I/O error at device op {index}"
+                )
+        return self.inner.read_blocks(block_ids)
+
+    def write_blocks(self, block_ids: list[int], payloads: list[bytes]) -> float:
+        if len(block_ids) != len(payloads):
+            raise StorageError("block_ids and payloads length mismatch")
+        index = self._next_op()
+        plan = self.plan
+        if plan is not None and plan.armed and block_ids:
+            if plan.crashes_at(index) or plan.write_fault(index) == "torn":
+                keep, partial = plan.torn_shape(
+                    index, len(block_ids), self.block_size
+                )
+                self._tear(block_ids, payloads, keep, partial)
+                self._log(
+                    index,
+                    "write",
+                    "torn" if not plan.crashes_at(index) else "crash",
+                    f"kept {keep} blocks + {partial} bytes of block {keep}",
+                )
+                raise CrashPoint(
+                    f"injected crash tearing write op {index} after "
+                    f"{keep} blocks + {partial} bytes"
+                )
+            fault = plan.write_fault(index)
+            if fault == "dropped":
+                dropped = plan.dropped_blocks(index, len(block_ids))
+                for position, (bid, data) in enumerate(zip(block_ids, payloads)):
+                    if position not in dropped:
+                        self.inner.poke_block(bid, data)
+                # The host saw the whole batch acknowledged: full latency,
+                # full stats — the loss is silent by definition.
+                latency = self.profile.write_batch_latency_us(len(block_ids))
+                self.stats.record_write(
+                    len(block_ids), len(block_ids) * self.block_size, latency
+                )
+                self._log(
+                    index,
+                    "write",
+                    "dropped",
+                    f"lost {len(dropped)}/{len(block_ids)} blocks",
+                )
+                return latency
+            if fault == "corrupt":
+                position, offset, mask = plan.corrupt_site(
+                    index, len(block_ids), self.block_size
+                )
+                padded = payloads[position] + b"\x00" * (
+                    self.block_size - len(payloads[position])
+                )
+                payloads = list(payloads)
+                payloads[position] = (
+                    padded[:offset]
+                    + bytes([padded[offset] ^ mask])
+                    + padded[offset + 1 :]
+                )
+                self._log(
+                    index,
+                    "write",
+                    "corrupt",
+                    f"flipped bit {mask:#04x} at block {block_ids[position]}"
+                    f"+{offset}",
+                )
+        return self.inner.write_blocks(block_ids, payloads)
+
+    def _tear(
+        self,
+        block_ids: list[int],
+        payloads: list[bytes],
+        keep: int,
+        partial: int,
+    ) -> None:
+        """Commit a torn prefix of the batch via the stats-free backdoor."""
+        for bid, data in zip(block_ids[:keep], payloads[:keep]):
+            self.inner.poke_block(bid, data)
+        if keep < len(block_ids) and partial > 0:
+            bid = block_ids[keep]
+            new = payloads[keep] + b"\x00" * (self.block_size - len(payloads[keep]))
+            old = self.inner.peek_block(bid)
+            self.inner.poke_block(bid, new[:partial] + old[partial:])
+
+    def read_block(self, block_id: int) -> tuple[bytes, float]:
+        data, latency = self.read_blocks([block_id])
+        return data[0], latency
+
+    def write_block(self, block_id: int, payload: bytes) -> float:
+        return self.write_blocks([block_id], [payload])
+
+    def trim(self, block_ids: list[int]) -> None:
+        index = self._next_op()
+        plan = self.plan
+        if plan is not None and plan.crashes_at(index):
+            self._log(index, "trim", "crash")
+            raise CrashPoint(f"injected crash at device op {index} (trim)")
+        self.inner.trim(block_ids)
+
+    # ------------------------------------------------------------------
+    # pass-through maintenance / introspection
+    # ------------------------------------------------------------------
+    def used_blocks(self) -> int:
+        return self.inner.used_blocks()
+
+    def peek_block(self, block_id: int) -> bytes:
+        return self.inner.peek_block(block_id)
+
+    def poke_block(self, block_id: int, payload: bytes) -> None:
+        self.inner.poke_block(block_id, payload)
+
+    def export_blocks(self) -> dict[int, bytes]:
+        return self.inner.export_blocks()
+
+    def import_blocks(self, blocks: dict[int, bytes]) -> None:
+        self.inner.import_blocks(blocks)
+
+    def sync(self) -> None:
+        if hasattr(self.inner, "sync"):
+            self.inner.sync()
+
+    def close(self) -> None:
+        if hasattr(self.inner, "close"):
+            self.inner.close()

@@ -111,6 +111,53 @@ class FileBackedSSD(SimulatedSSD):
         return used
 
     # ------------------------------------------------------------------
+    # stats-free backdoors (fault injection, crash-matrix state priming)
+    # ------------------------------------------------------------------
+    def peek_block(self, block_id: int) -> bytes:
+        with self._lock:
+            self._check_block_id(block_id)
+            self._fh.seek(block_id * self.block_size)
+            return self._fh.read(self.block_size)
+
+    def poke_block(self, block_id: int, payload: bytes) -> None:
+        with self._lock:
+            self._check_block_id(block_id)
+            if len(payload) > self.block_size:
+                raise StorageError(
+                    f"payload of {len(payload)} bytes exceeds block size "
+                    f"{self.block_size}"
+                )
+            if len(payload) < self.block_size:
+                payload = payload + b"\x00" * (self.block_size - len(payload))
+            self._fh.seek(block_id * self.block_size)
+            self._fh.write(payload)
+            self._fh.flush()
+
+    def export_blocks(self) -> dict[int, bytes]:
+        """All non-zero blocks (crash-matrix state priming; O(device) scan)."""
+        zero = b"\x00" * self.block_size
+        out: dict[int, bytes] = {}
+        with self._lock:
+            self._fh.seek(0)
+            for bid in range(self.num_blocks):
+                data = self._fh.read(self.block_size)
+                if data != zero:
+                    out[bid] = data
+        return out
+
+    def import_blocks(self, blocks: dict[int, bytes]) -> None:
+        zero = b"\x00" * self.block_size
+        with self._lock:
+            self._fh.seek(0)
+            for bid in range(self.num_blocks):
+                data = blocks.get(bid, zero)
+                if len(data) < self.block_size:
+                    data = data + b"\x00" * (self.block_size - len(data))
+                self._fh.seek(bid * self.block_size)
+                self._fh.write(data)
+            self._fh.flush()
+
+    # ------------------------------------------------------------------
     def sync(self) -> None:
         """fsync the backing file (called before declaring a checkpoint)."""
         with self._lock:
@@ -125,7 +172,22 @@ class FileBackedSSD(SimulatedSSD):
     def reopen(
         cls, path: str, num_blocks: int, profile: SSDProfile | None = None
     ) -> "FileBackedSSD":
-        """Open an existing device file (the restarted-process path)."""
+        """Open an existing device file (the restarted-process path).
+
+        The file must match the requested geometry exactly: a shrunken or
+        truncated device file means blocks the previous incarnation wrote
+        are gone, and silently re-extending it with zeroes would feed the
+        Block Controller phantom empty blocks where posting data used to
+        be. That is a storage fault, not a recovery input.
+        """
         if not os.path.exists(path):
             raise StorageError(f"no device file at {path}")
+        expected = num_blocks * (profile or SSDProfile()).block_size
+        actual = os.path.getsize(path)
+        if actual != expected:
+            raise StorageError(
+                f"device file {path} is {actual} bytes but the requested "
+                f"geometry ({num_blocks} blocks) needs exactly {expected}; "
+                "refusing to reopen a truncated or resized device"
+            )
         return cls(path, num_blocks, profile)

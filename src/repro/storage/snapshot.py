@@ -7,18 +7,64 @@ plus the pre-release buffer keeps every block referenced by the last
 snapshot intact until the *next* snapshot lands.
 
 Snapshots are written atomically (tmp file + rename) and versioned by a
-monotonically increasing generation number.
+monotonically increasing generation number. Every snapshot carries an
+integrity footer — ``magic | crc32(payload) | len(payload)`` — so a torn
+or bit-flipped snapshot is *detected* at load time (raising
+:class:`~repro.util.errors.RecoveryError`) instead of being unpickled into
+silently wrong index state.
+
+Fault injection: a :class:`~repro.storage.faults.FaultPlan` passed as
+``faults`` can tear the temp-file write, crash before or after the atomic
+rename, or publish a torn blob — the crash matrix uses these to verify
+that the previous snapshot plus the un-truncated WAL always recover.
 """
 
 from __future__ import annotations
 
 import os
 import pickle
+import struct
 import tempfile
+import zlib
 
-from repro.util.errors import RecoveryError
+from repro.util.errors import CrashPoint, RecoveryError
 
 _SNAPSHOT_NAME = "index.snapshot"
+_FOOTER = struct.Struct("<4sII")  # magic, crc32(payload), len(payload)
+_FOOTER_MAGIC = b"SPF1"
+
+
+def _seal(payload: bytes) -> bytes:
+    """Append the integrity footer to a pickled snapshot payload."""
+    return payload + _FOOTER.pack(
+        _FOOTER_MAGIC, zlib.crc32(payload) & 0xFFFFFFFF, len(payload)
+    )
+
+
+def _unseal(raw: bytes, origin: str) -> dict:
+    """Verify the footer and unpickle; raises RecoveryError on any damage."""
+    if len(raw) < _FOOTER.size:
+        raise RecoveryError(
+            f"snapshot at {origin} is {len(raw)} bytes — too short to hold "
+            "an integrity footer; treating as corrupt"
+        )
+    magic, crc, length = _FOOTER.unpack(raw[-_FOOTER.size :])
+    payload = raw[: -_FOOTER.size]
+    if magic != _FOOTER_MAGIC:
+        raise RecoveryError(
+            f"snapshot at {origin} has no integrity footer (bad magic); "
+            "refusing to load unverifiable state"
+        )
+    if length != len(payload) or zlib.crc32(payload) & 0xFFFFFFFF != crc:
+        raise RecoveryError(
+            f"snapshot at {origin} failed its integrity check "
+            f"(footer says {length} bytes, found {len(payload)}); "
+            "torn or corrupt snapshot"
+        )
+    try:
+        return pickle.loads(payload)
+    except Exception as exc:
+        raise RecoveryError(f"cannot decode snapshot at {origin}: {exc}") from exc
 
 
 class SnapshotManager:
@@ -29,8 +75,9 @@ class SnapshotManager:
     process.
     """
 
-    def __init__(self, directory: str | None = None) -> None:
+    def __init__(self, directory: str | None = None, faults=None) -> None:
         self.directory = directory
+        self.faults = faults
         self.generation = 0
         self._memory_snapshot: bytes | None = None
         if directory is not None:
@@ -45,46 +92,72 @@ class SnapshotManager:
 
     @staticmethod
     def _read_generation(path: str) -> int:
-        try:
-            with open(path, "rb") as fh:
-                blob = pickle.load(fh)
-            return int(blob.get("generation", 0))
-        except Exception as exc:  # corrupt snapshot is a recovery error
-            raise RecoveryError(f"cannot read snapshot at {path}: {exc}") from exc
+        with open(path, "rb") as fh:
+            blob = _unseal(fh.read(), path)
+        return int(blob.get("generation", 0))
 
     def save(self, state: dict) -> int:
         """Persist ``state`` atomically; returns the new generation number."""
         self.generation += 1
         blob = {"generation": self.generation, "state": state}
-        payload = pickle.dumps(blob, protocol=pickle.HIGHEST_PROTOCOL)
+        sealed = _seal(pickle.dumps(blob, protocol=pickle.HIGHEST_PROTOCOL))
+        fault = None
+        if self.faults is not None:
+            fault = self.faults.snapshot_action(self.generation)
+        data = sealed
+        if fault in ("torn-tmp", "corrupt-published"):
+            # A torn write: only a prefix of the blob reaches the media.
+            data = sealed[: max(1, len(sealed) // 2)]
         if self.directory is None:
-            self._memory_snapshot = payload
+            if fault in ("torn-tmp", "crash-before-commit"):
+                raise CrashPoint(
+                    f"injected crash before committing snapshot "
+                    f"generation {self.generation}"
+                )
+            self._memory_snapshot = data
+            if fault == "crash-after-commit":
+                raise CrashPoint(
+                    f"injected crash after committing snapshot "
+                    f"generation {self.generation}"
+                )
         else:
             fd, tmp_path = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
             try:
                 with os.fdopen(fd, "wb") as fh:
-                    fh.write(payload)
+                    fh.write(data)
+                if fault in ("torn-tmp", "crash-before-commit"):
+                    raise CrashPoint(
+                        f"injected crash before committing snapshot "
+                        f"generation {self.generation}"
+                    )
                 os.replace(tmp_path, self._snapshot_path())
+                if fault == "crash-after-commit":
+                    raise CrashPoint(
+                        f"injected crash after committing snapshot "
+                        f"generation {self.generation}"
+                    )
             finally:
                 if os.path.exists(tmp_path):
                     os.unlink(tmp_path)
         return self.generation
 
     def load(self) -> dict | None:
-        """Return the latest snapshot state, or None if none was taken."""
+        """Return the latest snapshot state, or None if none was taken.
+
+        Raises :class:`RecoveryError` if the stored snapshot fails its
+        integrity check — a detected-corrupt snapshot must never be
+        silently restored.
+        """
         if self.directory is None:
             if self._memory_snapshot is None:
                 return None
-            blob = pickle.loads(self._memory_snapshot)
+            blob = _unseal(self._memory_snapshot, "<memory>")
         else:
             path = self._snapshot_path()
             if not os.path.exists(path):
                 return None
-            try:
-                with open(path, "rb") as fh:
-                    blob = pickle.load(fh)
-            except Exception as exc:
-                raise RecoveryError(f"corrupt snapshot at {path}: {exc}") from exc
+            with open(path, "rb") as fh:
+                blob = _unseal(fh.read(), path)
         self.generation = int(blob["generation"])
         return blob["state"]
 
@@ -93,3 +166,35 @@ class SnapshotManager:
         if self.directory is None:
             return self._memory_snapshot is not None
         return os.path.exists(self._snapshot_path())
+
+    # ------------------------------------------------------------------
+    # raw blob access (crash-matrix state priming, restart simulation)
+    # ------------------------------------------------------------------
+    def export_blob(self) -> bytes | None:
+        """Raw sealed snapshot bytes, or None if no snapshot exists."""
+        if self.directory is None:
+            return self._memory_snapshot
+        path = self._snapshot_path()
+        if not os.path.exists(path):
+            return None
+        with open(path, "rb") as fh:
+            return fh.read()
+
+    def import_blob(self, payload: bytes | None) -> None:
+        """Install raw snapshot bytes as the current snapshot.
+
+        The blob is *not* validated here — corrupt imports are how the
+        fault tests exercise :meth:`load`'s integrity checking.
+        """
+        if self.directory is None:
+            self._memory_snapshot = payload
+        else:
+            path = self._snapshot_path()
+            if payload is None:
+                if os.path.exists(path):
+                    os.unlink(path)
+            else:
+                fd, tmp_path = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
+                with os.fdopen(fd, "wb") as fh:
+                    fh.write(payload)
+                os.replace(tmp_path, path)

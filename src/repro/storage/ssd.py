@@ -151,3 +151,37 @@ class SimulatedSSD:
         """Number of blocks holding written (non-trimmed) data."""
         with self._lock:
             return len(self._blocks)
+
+    # ------------------------------------------------------------------
+    # stats-free backdoors (fault injection, crash-matrix state priming)
+    # ------------------------------------------------------------------
+    def peek_block(self, block_id: int) -> bytes:
+        """Raw block content with no stats or simulated latency."""
+        with self._lock:
+            self._check_block_id(block_id)
+            return self._blocks.get(block_id, b"\x00" * self.block_size)
+
+    def poke_block(self, block_id: int, payload: bytes) -> None:
+        """Write raw block content with no stats or simulated latency."""
+        with self._lock:
+            self._check_block_id(block_id)
+            if len(payload) > self.block_size:
+                raise StorageError(
+                    f"payload of {len(payload)} bytes exceeds block size "
+                    f"{self.block_size}"
+                )
+            self._blocks[block_id] = bytes(payload) + b"\x00" * (
+                self.block_size - len(payload)
+            )
+
+    def export_blocks(self) -> dict[int, bytes]:
+        """Copy of all written blocks (crash-matrix trials restart from it)."""
+        with self._lock:
+            return dict(self._blocks)
+
+    def import_blocks(self, blocks: dict[int, bytes]) -> None:
+        """Replace device contents wholesale; no stats, no latency."""
+        with self._lock:
+            for bid in blocks:
+                self._check_block_id(int(bid))
+            self._blocks = {int(b): bytes(data) for b, data in blocks.items()}

@@ -2,8 +2,25 @@
 
 Update requests arriving between two snapshots are appended to the WAL;
 recovery replays them on top of the latest snapshot. Records use a compact
-binary framing so the log is append-only and replayable after partial
-writes (a torn tail record is detected and discarded).
+binary framing with a per-record CRC32::
+
+    magic(1) | op(1) | vector_id(8) | payload_len(4) | crc32(4) | payload
+
+The CRC covers (op, vector_id, payload_len, payload), so a flipped byte
+anywhere in a record — header or payload — is detected. Replay never
+raises on bad data; it classifies damage instead:
+
+* a **torn tail** (clean EOF mid-record, the crash-during-append case)
+  ends the replay, dropping only the partial record;
+* a **corrupt record** in the middle of the log is *quarantined*: replay
+  scans forward for the next frame that parses with a valid CRC and
+  continues from there, counting the skipped records and bytes in a
+  :class:`WalReplayReport` so recovery can surface what was lost.
+
+The log also participates in fault injection: a
+:class:`~repro.storage.faults.FaultPlan` passed as ``faults`` can tear an
+append mid-frame (raising :class:`~repro.util.errors.CrashPoint`, the
+crash-during-logging case) or silently corrupt a frame on its way down.
 """
 
 from __future__ import annotations
@@ -11,14 +28,18 @@ from __future__ import annotations
 import io
 import os
 import struct
+import zlib
 from dataclasses import dataclass
 from typing import Iterator
 
 import numpy as np
 
-from repro.util.errors import RecoveryError
+from repro.util.errors import CrashPoint
 
-_HEADER = struct.Struct("<BqI")  # op, vector id, payload byte length
+_WAL_MAGIC = 0xA5
+_FRAME = struct.Struct("<BBqII")  # magic, op, vector id, payload len, crc32
+_CRC_PREFIX = struct.Struct("<BqI")  # the crc'd header fields (op, id, len)
+_MAX_PAYLOAD = 1 << 26  # 64 MiB: anything larger is a corrupt length field
 OP_INSERT = 1
 OP_DELETE = 2
 
@@ -36,18 +57,87 @@ class WalRecord:
         return self.op == OP_INSERT
 
 
+@dataclass
+class WalReplayReport:
+    """Damage accounting for one replay pass."""
+
+    records_ok: int = 0
+    records_quarantined: int = 0
+    bytes_quarantined: int = 0
+    torn_tail_bytes: int = 0
+
+    @property
+    def clean(self) -> bool:
+        return self.records_quarantined == 0 and self.torn_tail_bytes == 0
+
+
+def _encode_frame(op: int, vector_id: int, payload: bytes) -> bytes:
+    crc = zlib.crc32(_CRC_PREFIX.pack(op, vector_id, len(payload)) + payload)
+    return _FRAME.pack(_WAL_MAGIC, op, vector_id, len(payload), crc & 0xFFFFFFFF) + payload
+
+
+def _parse_frame(buf: bytes, pos: int):
+    """Try to parse one frame at ``pos``.
+
+    Returns ``(record, end, status)`` with status one of ``"ok"``,
+    ``"short-header"``, ``"bad-header"``, ``"short-payload"``, ``"bad-crc"``.
+    The record is only non-None for ``"ok"``.
+    """
+    if pos + _FRAME.size > len(buf):
+        return None, len(buf), "short-header"
+    magic, op, vector_id, nbytes, crc = _FRAME.unpack_from(buf, pos)
+    if (
+        magic != _WAL_MAGIC
+        or op not in (OP_INSERT, OP_DELETE)
+        or nbytes > _MAX_PAYLOAD
+        or (op == OP_DELETE and nbytes != 0)
+        or (op == OP_INSERT and (nbytes == 0 or nbytes % 4 != 0))
+    ):
+        return None, pos, "bad-header"
+    end = pos + _FRAME.size + nbytes
+    if end > len(buf):
+        return None, len(buf), "short-payload"
+    payload = buf[pos + _FRAME.size : end]
+    actual = zlib.crc32(_CRC_PREFIX.pack(op, vector_id, nbytes) + payload)
+    if actual & 0xFFFFFFFF != crc:
+        return None, pos, "bad-crc"
+    vector = None
+    if op == OP_INSERT:
+        vector = np.frombuffer(payload, dtype=np.float32).copy()
+    return WalRecord(op=op, vector_id=vector_id, vector=vector), end, "ok"
+
+
+def _resync(buf: bytes, start: int) -> int:
+    """First offset >= start holding a complete valid frame; len(buf) if none."""
+    pos = start
+    limit = len(buf) - _FRAME.size
+    while pos <= limit:
+        if buf[pos] == _WAL_MAGIC:
+            _, _, status = _parse_frame(buf, pos)
+            if status == "ok":
+                return pos
+        pos += 1
+    return len(buf)
+
+
 class WriteAheadLog:
     """Append-only update log, file-backed or in-memory.
 
     Pass ``path=None`` for an in-memory log (fast tests); a string path gives
     a durable file that survives reopen — the crash-recovery tests reopen the
-    same path to simulate a restart.
+    same path to simulate a restart. ``faults`` attaches a
+    :class:`~repro.storage.faults.FaultPlan` whose WAL hooks can tear or
+    corrupt individual appends (indexed by lifetime append number).
     """
 
-    def __init__(self, path: str | None = None, sync: bool = False) -> None:
+    def __init__(
+        self, path: str | None = None, sync: bool = False, faults=None
+    ) -> None:
         self.path = path
         self.sync = sync
+        self.faults = faults
         self._record_count = 0
+        self._appends_total = 0  # lifetime appends; never reset by truncate
         if path is None:
             self._fh: io.BufferedRandom | io.BytesIO = io.BytesIO()
         else:
@@ -63,32 +153,75 @@ class WriteAheadLog:
         self._append(OP_DELETE, vector_id, b"")
 
     def _append(self, op: int, vector_id: int, payload: bytes) -> None:
+        frame = _encode_frame(op, vector_id, payload)
+        append_index = self._appends_total
+        self._appends_total += 1
+        if self.faults is not None:
+            action = self.faults.wal_action(append_index)
+            if action is not None:
+                kind, arg = action
+                if kind == "tear":
+                    keep = len(frame) // 2 if arg is None else min(arg, len(frame))
+                    self._write_tail(frame[:keep])
+                    raise CrashPoint(
+                        f"injected crash tearing WAL append {append_index} "
+                        f"at byte {keep}/{len(frame)}"
+                    )
+                if kind == "corrupt":
+                    offset = (len(frame) // 2 if arg is None else arg) % len(frame)
+                    frame = (
+                        frame[:offset]
+                        + bytes([frame[offset] ^ 0x40])
+                        + frame[offset + 1 :]
+                    )
+        self._write_tail(frame)
+        self._record_count += 1
+
+    def _write_tail(self, data: bytes) -> None:
         self._fh.seek(0, os.SEEK_END)
-        self._fh.write(_HEADER.pack(op, vector_id, len(payload)))
-        if payload:
-            self._fh.write(payload)
+        self._fh.write(data)
         self._fh.flush()
         if self.sync and self.path is not None:
             os.fsync(self._fh.fileno())
-        self._record_count += 1
 
-    def replay(self) -> Iterator[WalRecord]:
-        """Yield logged records in order; a torn tail record ends the replay."""
-        self._fh.seek(0)
-        while True:
-            header = self._fh.read(_HEADER.size)
-            if len(header) < _HEADER.size:
-                break  # clean EOF or torn header: stop
-            op, vector_id, nbytes = _HEADER.unpack(header)
-            if op not in (OP_INSERT, OP_DELETE):
-                raise RecoveryError(f"corrupt WAL record: unknown op {op}")
-            payload = self._fh.read(nbytes)
-            if len(payload) < nbytes:
-                break  # torn payload: drop the partial record
-            vector = None
-            if op == OP_INSERT:
-                vector = np.frombuffer(payload, dtype=np.float32).copy()
-            yield WalRecord(op=op, vector_id=vector_id, vector=vector)
+    def replay(self, report: WalReplayReport | None = None) -> Iterator[WalRecord]:
+        """Yield valid records in order, skipping and reporting damage.
+
+        A torn tail ends the replay; a corrupt mid-log record is
+        quarantined and replay resumes at the next CRC-valid frame. Pass a
+        :class:`WalReplayReport` to collect the damage accounting.
+        """
+        rep = report if report is not None else WalReplayReport()
+        buf = self.to_bytes()
+        pos = 0
+        total = len(buf)
+        while pos < total:
+            record, end, status = _parse_frame(buf, pos)
+            if status == "ok":
+                rep.records_ok += 1
+                yield record
+                pos = end
+                continue
+            if status == "short-header":
+                rep.torn_tail_bytes = total - pos
+                break
+            if status == "short-payload":
+                # Either a genuinely torn tail record, or a corrupt length
+                # field pointing past EOF. If any complete valid frame
+                # exists later, the length was corrupt; otherwise torn.
+                nxt = _resync(buf, pos + 1)
+                if nxt >= total:
+                    rep.torn_tail_bytes = total - pos
+                    break
+                rep.records_quarantined += 1
+                rep.bytes_quarantined += nxt - pos
+                pos = nxt
+                continue
+            # bad-header / bad-crc: quarantine and resync.
+            nxt = _resync(buf, pos + 1)
+            rep.records_quarantined += 1
+            rep.bytes_quarantined += nxt - pos
+            pos = nxt
 
     def truncate(self) -> None:
         """Discard all records (called right after a snapshot lands)."""
@@ -106,6 +239,22 @@ class WriteAheadLog:
     def size_bytes(self) -> int:
         self._fh.seek(0, os.SEEK_END)
         return self._fh.tell()
+
+    def to_bytes(self) -> bytes:
+        """Full raw log contents (replay input, crash-matrix state capture)."""
+        self._fh.seek(0)
+        return self._fh.read()
+
+    def load_bytes(self, data: bytes) -> None:
+        """Replace the log contents wholesale (simulated-restart helper)."""
+        if self.path is None:
+            self._fh = io.BytesIO(data)
+        else:
+            self._fh.truncate(0)
+            self._fh.seek(0)
+            self._fh.write(data)
+            self._fh.flush()
+        self._record_count = sum(1 for _ in self.replay())
 
     def close(self) -> None:
         if self.path is not None:

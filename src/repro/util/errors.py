@@ -40,3 +40,22 @@ class StalePostingError(IndexError_):
 
 class RecoveryError(ReproError):
     """Snapshot/WAL recovery could not restore a consistent state."""
+
+
+class InjectedFaultError(StorageError):
+    """A fault-injection plan forced this device operation to fail.
+
+    Raised *instead of* performing the I/O, so error'd operations never
+    show up in :class:`repro.storage.iostats.IOStats` counters.
+    """
+
+
+class CrashPoint(ReproError):
+    """Injected hard crash: the simulated process dies at this operation.
+
+    Raised by the fault-injection layer (device op N, a torn WAL append,
+    or a snapshot boundary). Test harnesses catch it at the top of the
+    workload loop, discard every in-memory structure, and recover from
+    the surviving device + snapshot + WAL — nothing in the library may
+    catch and swallow it.
+    """

@@ -39,6 +39,17 @@ def assert_no_vector_lost(index, expected_live_ids) -> None:
     assert not extra, f"ghost vectors: {sorted(extra)[:10]}"
 
 
+def brute_force_topk(
+    vectors_by_vid: dict[int, np.ndarray], query: np.ndarray, k: int
+) -> list[int]:
+    """Exact top-k ids by squared L2 over an explicit id->vector oracle."""
+    ids = sorted(vectors_by_vid)
+    matrix = np.stack([vectors_by_vid[vid] for vid in ids])
+    dists = ((matrix - query) ** 2).sum(axis=1)
+    order = np.argsort(dists, kind="stable")
+    return [ids[int(i)] for i in order[:k]]
+
+
 def assert_posting_size_bounds(index, slack: int = 0) -> None:
     """After drain, no posting exceeds the split limit (+slack)."""
     limit = index.config.max_posting_size + slack

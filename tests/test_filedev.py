@@ -80,6 +80,47 @@ class TestDevice:
         with pytest.raises(StorageError):
             FileBackedSSD(path, 8, SSDProfile(block_size=512))
 
+    def test_reopen_rejects_truncated_file(self, tmp_path):
+        path = str(tmp_path / "t.img")
+        profile = SSDProfile(block_size=512)
+        dev = FileBackedSSD(path, 16, profile)
+        dev.write_block(9, b"precious")
+        dev.close()
+        # Chop the tail off, as a crashed filesystem or bad copy would.
+        with open(path, "r+b") as fh:
+            fh.truncate(16 * 512 - 100)
+        with pytest.raises(StorageError, match="truncated or resized"):
+            FileBackedSSD.reopen(path, 16, profile)
+
+    def test_reopen_rejects_wrong_geometry(self, tmp_path):
+        path = str(tmp_path / "g.img")
+        profile = SSDProfile(block_size=512)
+        FileBackedSSD(path, 16, profile).close()
+        # File is intact, but the caller asks for a different block count:
+        # the size check must catch the mismatch in both directions.
+        with pytest.raises(StorageError):
+            FileBackedSSD.reopen(path, 32, profile)
+        with pytest.raises(StorageError):
+            FileBackedSSD.reopen(path, 8, profile)
+        FileBackedSSD.reopen(path, 16, profile).close()  # exact match is fine
+
+    def test_peek_poke_and_export_roundtrip(self, tmp_path):
+        path = str(tmp_path / "pp.img")
+        dev = FileBackedSSD(path, 16, SSDProfile(block_size=512))
+        before = dev.stats.snapshot()
+        dev.poke_block(4, b"backdoor")
+        assert dev.peek_block(4).startswith(b"backdoor")
+        exported = dev.export_blocks()
+        assert exported[4].startswith(b"backdoor")
+        delta = dev.stats.snapshot().delta(before)
+        assert delta.read_ops == 0 and delta.write_ops == 0  # stats-free
+        dev2 = FileBackedSSD(str(tmp_path / "pp2.img"), 16, SSDProfile(block_size=512))
+        dev2.import_blocks(exported)
+        data, _ = dev2.read_block(4)
+        assert data.startswith(b"backdoor")
+        dev.close()
+        dev2.close()
+
 
 class TestColdRecovery:
     """Full restart path: new device object + on-disk snapshot and WAL."""

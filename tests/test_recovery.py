@@ -114,6 +114,82 @@ class TestWalReplay:
         assert_no_vector_lost(recovered, expected)
 
 
+class TestRecoveryReport:
+    """`index.last_recovery` and the mirrored stats counters."""
+
+    def test_clean_recovery_report(self, vectors, small_config, rng):
+        index, wal, snaps = build_with_recovery(vectors, small_config)
+        index.checkpoint()
+        for i in range(6):
+            index.insert(45_000 + i, rng.normal(size=DIM).astype(np.float32))
+        index.delete(0)
+        recovered = crash_and_recover(index, wal, snaps)
+        report = recovered.last_recovery
+        assert report is not None
+        assert report.clean
+        assert report.snapshot_generation == 1
+        assert report.records_replayed == 7
+        assert report.records_quarantined == 0
+        assert "7 WAL records replayed" in report.summary()
+        assert recovered.stats.recoveries == 1
+        assert recovered.stats.wal_records_replayed == 7
+        assert recovered.stats.wal_records_quarantined == 0
+
+    def test_fresh_index_has_no_recovery_report(self, vectors, small_config):
+        index, _, _ = build_with_recovery(vectors, small_config)
+        assert index.last_recovery is None
+        assert index.stats.recoveries == 0
+
+    def test_quarantined_records_surface_in_report(self, vectors, small_config, rng):
+        index, wal, snaps = build_with_recovery(vectors, small_config)
+        index.checkpoint()
+        for i in range(4):
+            index.insert(46_000 + i, rng.normal(size=DIM).astype(np.float32))
+        # Corrupt the second logged record in place, as a bad sector would.
+        stream = bytearray(wal.to_bytes())
+        frame = len(stream) // 4
+        stream[frame + frame // 2] ^= 0x10
+        wal.load_bytes(bytes(stream))
+
+        recovered = crash_and_recover(index, wal, snaps)
+        report = recovered.last_recovery
+        assert not report.clean
+        assert report.records_replayed == 3
+        assert report.records_quarantined == 1
+        assert report.bytes_quarantined > 0
+        assert recovered.stats.wal_records_quarantined == 1
+        # The three undamaged inserts survived.
+        live = set(live_assignment(recovered))
+        assert len({46_000, 46_001, 46_002, 46_003} & live) == 3
+
+    def test_snapshot_live_inserts_counted_as_skips(self, vectors, small_config, rng):
+        index, wal, snaps = build_with_recovery(vectors, small_config)
+        index.insert(47_000, rng.normal(size=DIM).astype(np.float32))
+        index.checkpoint()
+        # Stale WAL scenario: the record was logged before the checkpoint
+        # but the truncate was lost (e.g. crash-after-commit). Replaying it
+        # against the snapshot that already contains it must skip, not dup.
+        wal.log_insert(47_000, rng.normal(size=DIM).astype(np.float32))
+        recovered = crash_and_recover(index, wal, snaps)
+        assert recovered.last_recovery.records_skipped == 1
+        assert recovered.last_recovery.records_replayed == 0
+        assert recovered.stats.wal_records_skipped == 1
+
+    def test_torn_tail_reported(self, vectors, small_config, rng):
+        index, wal, snaps = build_with_recovery(vectors, small_config)
+        index.checkpoint()
+        index.insert(48_000, rng.normal(size=DIM).astype(np.float32))
+        index.insert(48_001, rng.normal(size=DIM).astype(np.float32))
+        stream = wal.to_bytes()
+        wal.load_bytes(stream[: len(stream) - 7])  # crash mid-append
+        recovered = crash_and_recover(index, wal, snaps)
+        assert recovered.last_recovery.torn_tail_bytes > 0
+        assert recovered.last_recovery.records_replayed == 1
+        live = set(live_assignment(recovered))
+        assert 48_000 in live
+        assert 48_001 not in live  # never acknowledged durably
+
+
 class TestFileBackedRecovery:
     def test_full_cycle_on_disk(self, vectors, small_config, tmp_path, rng):
         index, wal, snaps = build_with_recovery(vectors, small_config, tmp_path)

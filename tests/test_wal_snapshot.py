@@ -89,6 +89,91 @@ def wal_size_minus(path: str, n: int) -> int:
     return os.path.getsize(path) - n
 
 
+class TestWalCorruptionQuarantine:
+    """CRC framing: damaged records are quarantined, the rest resync."""
+
+    def make_wal_bytes(self, n=5):
+        wal = WriteAheadLog()
+        for i in range(n):
+            wal.log_insert(i, np.full(4, float(i), dtype=np.float32))
+        return wal.to_bytes()
+
+    def test_midlog_flip_quarantines_one_record_and_resyncs(self):
+        from repro.storage.wal import WalReplayReport
+
+        stream = bytearray(self.make_wal_bytes(5))
+        frame = len(stream) // 5
+        stream[frame + frame // 2] ^= 0xFF  # damage record 1's payload
+        wal = WriteAheadLog()
+        wal.load_bytes(bytes(stream))
+        report = WalReplayReport()
+        records = list(wal.replay(report=report))
+        assert [r.vector_id for r in records] == [0, 2, 3, 4]
+        assert report.records_quarantined == 1
+        assert report.bytes_quarantined > 0
+        assert report.torn_tail_bytes == 0
+        assert not report.clean
+
+    def test_corrupt_length_field_does_not_truncate_rest_of_log(self):
+        # A flipped length field makes the payload appear to run past the
+        # next frame; replay must treat that as corruption (resync to the
+        # frames behind it), not as a torn tail ending the log.
+        from repro.storage.wal import WalReplayReport
+
+        stream = bytearray(self.make_wal_bytes(4))
+        # Frame layout is <BBqII>: length lives at bytes 10..13.
+        stream[10] ^= 0x04  # grow record 0's claimed payload
+        wal = WriteAheadLog()
+        wal.load_bytes(bytes(stream))
+        report = WalReplayReport()
+        records = list(wal.replay(report=report))
+        assert [r.vector_id for r in records] == [1, 2, 3]
+        assert report.records_quarantined == 1
+
+    def test_faultplan_wal_corrupt_hook(self):
+        from repro.storage.faults import FaultPlan
+        from repro.storage.wal import WalReplayReport
+
+        plan = FaultPlan(wal_corrupt_at=(1, 5))
+        wal = WriteAheadLog(faults=plan)
+        for i in range(3):
+            wal.log_insert(i, np.ones(4, dtype=np.float32))
+        report = WalReplayReport()
+        records = list(wal.replay(report=report))
+        assert [r.vector_id for r in records] == [0, 2]
+        assert report.records_quarantined == 1
+
+    def test_faultplan_wal_tear_crashes_and_keeps_prefix(self):
+        from repro.storage.faults import FaultPlan
+        from repro.storage.wal import WalReplayReport
+        from repro.util.errors import CrashPoint
+
+        plan = FaultPlan(wal_tear_at=(2, None))  # tear the 3rd append mid-frame
+        wal = WriteAheadLog(faults=plan)
+        wal.log_insert(0, np.ones(4, dtype=np.float32))
+        wal.log_delete(1)
+        with pytest.raises(CrashPoint):
+            wal.log_insert(2, np.ones(4, dtype=np.float32))
+        report = WalReplayReport()
+        records = list(wal.replay(report=report))
+        assert [r.vector_id for r in records] == [0, 1]
+        assert report.torn_tail_bytes > 0
+
+    def test_wal_append_index_is_lifetime_not_per_epoch(self):
+        from repro.storage.faults import FaultPlan
+        from repro.util.errors import CrashPoint
+
+        plan = FaultPlan(wal_tear_at=(3, 0))
+        wal = WriteAheadLog(faults=plan)
+        wal.log_delete(0)  # append 0
+        wal.log_delete(1)  # append 1
+        wal.truncate()  # resets contents, NOT the lifetime counter
+        wal.log_delete(2)  # append 2
+        with pytest.raises(CrashPoint):
+            wal.log_delete(3)  # append 3 — the targeted one
+        assert [r.vector_id for r in wal.replay()] == [2]
+
+
 class TestSnapshotManager:
     def test_memory_roundtrip(self):
         mgr = SnapshotManager()
@@ -125,3 +210,47 @@ class TestSnapshotManager:
         snapshot_file.write_bytes(b"not a pickle")
         with pytest.raises(RecoveryError):
             SnapshotManager(str(tmp_path))
+
+
+class TestSnapshotIntegrityFooter:
+    def test_single_flipped_bit_is_detected(self, tmp_path):
+        mgr = SnapshotManager(str(tmp_path))
+        mgr.save({"v": 1})
+        path = tmp_path / "index.snapshot"
+        raw = bytearray(path.read_bytes())
+        raw[len(raw) // 3] ^= 0x01
+        path.write_bytes(bytes(raw))
+        # Both the reopen path (generation probe) and an explicit load on a
+        # surviving manager must refuse the flipped blob.
+        with pytest.raises(RecoveryError, match="integrity"):
+            SnapshotManager(str(tmp_path))
+        with pytest.raises(RecoveryError, match="integrity"):
+            mgr.load()
+
+    def test_truncated_blob_is_detected(self):
+        mgr = SnapshotManager()
+        mgr.save({"v": 2})
+        blob = mgr.export_blob()
+        mgr.import_blob(blob[: len(blob) // 2])
+        with pytest.raises(RecoveryError):
+            mgr.load()
+
+    def test_missing_footer_is_detected(self):
+        import pickle
+
+        mgr = SnapshotManager()
+        # A valid pickle without the footer (e.g. pre-footer format).
+        mgr.import_blob(pickle.dumps({"generation": 1, "state": {}}))
+        with pytest.raises(RecoveryError):
+            mgr.load()
+
+    def test_export_import_blob_roundtrip(self, tmp_path):
+        source = SnapshotManager()
+        source.save({"v": 7})
+        blob = source.export_blob()
+        target = SnapshotManager(str(tmp_path))
+        target.import_blob(blob)
+        assert target.load()["v"] == 7
+        assert target.generation == 1
+        target.import_blob(None)
+        assert not target.has_snapshot
