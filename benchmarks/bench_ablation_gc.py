@@ -6,7 +6,6 @@ rewrites the posting at every delete. The metric is device writes per
 delete and the residual garbage both strategies leave.
 """
 
-import numpy as np
 
 from benchmarks.conftest import DIM, run_once, spfresh_config
 from repro.bench.reporting import format_table

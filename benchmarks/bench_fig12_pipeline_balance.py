@@ -12,7 +12,6 @@ under a heavy foreground stream.
 import threading
 import time
 
-import numpy as np
 
 from benchmarks.conftest import DIM, run_once, spfresh_config
 from repro.bench.reporting import format_table
@@ -87,7 +86,6 @@ def test_fig12_pipeline_balance(benchmark, scale):
     # Shape: with a fixed single background worker, piling on foreground
     # threads leaves residual drain work (the pipeline backs up), while
     # adding background workers shrinks the post-stream drain time.
-    drain_fg1 = {row[0]: row[3] for row in fg_rows}
     drain_bg = {row[1]: row[3] for row in bg_rows}
     assert drain_bg[max(BACKGROUND_SWEEP)] <= drain_bg[1] * 1.5 + 0.2
     # Throughput must not collapse as threads increase.

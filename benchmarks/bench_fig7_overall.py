@@ -11,7 +11,6 @@ SPFresh flat and best on every panel; SPANN+ tail grows; DiskANN spikes.
 Also prints the §5.2.2 micro-stats (rebalance frequency, reassign counts).
 """
 
-import numpy as np
 
 from benchmarks.conftest import DIM, run_once, spfresh_config
 from repro.baselines import DiskANNConfig, FreshDiskANNIndex, build_spann_plus

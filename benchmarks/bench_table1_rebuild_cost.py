@@ -8,7 +8,6 @@ cost hours-to-days and hundreds of GB while SPFresh's incremental work
 (also printed) is orders of magnitude smaller per day.
 """
 
-import numpy as np
 
 from benchmarks.conftest import DIM, run_once, spfresh_config
 from repro.baselines.diskann import DiskANNConfig

@@ -2,42 +2,23 @@
 
 Every bench prints the series the corresponding paper figure plots, so the
 numbers land in bench logs (and EXPERIMENTS.md quotes them from there).
-Scale knobs live here; export ``REPRO_BENCH_SCALE=large`` for a slower,
+Scale definitions are shared with the perf-regression harness via
+:mod:`repro.bench.scales`; export ``REPRO_BENCH_SCALE=large`` for a slower,
 higher-fidelity run.
 """
 
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass
 
 import pytest
 
+from repro.bench.scales import SCALES, BenchScale
 from repro.core.config import SPFreshConfig
 
+__all__ = ["BenchScale", "SCALES", "DIM", "scale", "spfresh_config", "run_once"]
+
 DIM = 32
-
-
-@dataclass(frozen=True)
-class BenchScale:
-    base_vectors: int
-    days: int
-    daily_rate: float
-    queries: int
-    stress_base: int
-    stress_days: int
-
-
-SCALES = {
-    "small": BenchScale(
-        base_vectors=4000, days=12, daily_rate=0.015, queries=50,
-        stress_base=12000, stress_days=6,
-    ),
-    "large": BenchScale(
-        base_vectors=10000, days=30, daily_rate=0.01, queries=100,
-        stress_base=40000, stress_days=10,
-    ),
-}
 
 
 @pytest.fixture(scope="session")

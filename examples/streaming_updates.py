@@ -10,7 +10,6 @@ LIRE's background activity.
 Run:  python examples/streaming_updates.py
 """
 
-import numpy as np
 
 from repro import SPFreshConfig, SPFreshIndex
 from repro.bench.harness import SPFreshAdapter, run_update_simulation, summarize

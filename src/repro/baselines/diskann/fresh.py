@@ -25,7 +25,7 @@ import numpy as np
 from repro.baselines.diskann.pq import ProductQuantizer
 from repro.baselines.diskann.vamana import build_vamana, robust_prune
 from repro.storage.ssd import SimulatedSSD, SSDProfile
-from repro.util.distance import as_matrix, as_vector, sq_l2_batch
+from repro.util.distance import as_matrix, as_vector
 from repro.util.errors import IndexError_, StorageError
 
 

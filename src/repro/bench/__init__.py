@@ -11,7 +11,16 @@ from repro.bench.harness import (
 from repro.bench.reporting import format_series, format_table
 from repro.bench.cost_model import RebuildCostModel, table1_rows
 
+from repro.bench.scales import PERF_SCALES, SCALES, BenchScale, PerfScale
+
 _STRESS_EXPORTS = ("ChaosSchedule", "StressConfig", "StressReport", "run_stress")
+_PERF_EXPORTS = (
+    "CompareReport",
+    "ScenarioResult",
+    "compare_dirs",
+    "run_scenarios",
+    "write_results",
+)
 _CRASH_MATRIX_EXPORTS = (
     "CrashMatrixConfig",
     "CrashMatrixReport",
@@ -32,6 +41,10 @@ def __getattr__(name):
         from repro.bench import crash_matrix
 
         return getattr(crash_matrix, name)
+    if name in _PERF_EXPORTS:
+        from repro.bench import perf
+
+        return getattr(perf, name)
     raise AttributeError(name)
 
 
@@ -54,4 +67,13 @@ __all__ = [
     "CrashMatrixReport",
     "CrashTrial",
     "run_crash_matrix",
+    "BenchScale",
+    "PerfScale",
+    "SCALES",
+    "PERF_SCALES",
+    "CompareReport",
+    "ScenarioResult",
+    "compare_dirs",
+    "run_scenarios",
+    "write_results",
 ]

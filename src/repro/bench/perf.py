@@ -1,0 +1,839 @@
+"""Deterministic perf-regression harness: seeded scenarios → ``BENCH_*.json``.
+
+The simulation substrate makes performance *reproducible*: device latency,
+I/O amplification, ParallelGET waves, probe counts, and LIRE rebalancing
+work are all functions of the seeded workload, not of the machine the
+bench runs on. This harness exploits that to give the repo a quantitative
+perf trajectory that CI can gate on:
+
+* each **scenario** runs a seeded workload over the real stack (searcher,
+  updater, LIRE split/merge/reassign, WAL + recovery, posting cache) and
+  records two metric classes:
+
+  - ``deterministic`` — simulated latencies (percentiles), IOStats
+    read/write amplification, wave counts, postings probed, rebalance
+    counters, recall against brute force. Bit-stable under a fixed seed;
+    **safe to gate on**.
+  - ``wall_clock`` — ops/sec via ``time.perf_counter``. Machine noise;
+    **informational only**, never gated.
+
+* results land as ``BENCH_<scenario>.json`` (stable schema, sorted keys)
+  so every later optimization PR diffs against the same files;
+
+* ``--compare baseline_dir/ --tolerance 0.05`` exits nonzero when any
+  deterministic metric regresses beyond tolerance — the CI perf lane's
+  gate.
+
+Run from the CLI::
+
+    PYTHONPATH=src python -m repro.bench.perf --quick --out bench-out
+    PYTHONPATH=src python -m repro.bench.perf --compare baseline/ --tolerance 0.05
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.bench.reporting import format_markdown_table
+from repro.bench.scales import PERF_SCALES, PerfScale
+from repro.core.config import SPFreshConfig
+from repro.core.index import SPFreshIndex
+from repro.datasets import exact_knn, make_sift_like
+from repro.metrics.latency import percentile_metrics
+from repro.metrics.recall import recall_at_k
+from repro.spann.searcher import SpannSearcher
+from repro.storage import CachedBlockController
+from repro.storage.snapshot import SnapshotManager
+from repro.storage.wal import WriteAheadLog
+
+SCHEMA_VERSION = 1
+FILE_PREFIX = "BENCH_"
+
+# Deterministic metrics are gated lower-is-better unless named here.
+_HIGHER_IS_BETTER_SUFFIXES = ("recall_at_k", "hit_rate", "speedup")
+
+
+@dataclass
+class ScenarioResult:
+    """One scenario's measurements, split by gating class."""
+
+    scenario: str
+    config: dict
+    deterministic: dict[str, float]
+    wall_clock: dict[str, float]
+
+    def directions(self) -> dict[str, str]:
+        return {
+            name: (
+                "higher"
+                if name.endswith(_HIGHER_IS_BETTER_SUFFIXES)
+                else "lower"
+            )
+            for name in self.deterministic
+        }
+
+    def to_document(self) -> dict:
+        """The ``BENCH_*.json`` payload (stable schema, gate policy inline)."""
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "generated_by": "repro.bench.perf",
+            "scenario": self.scenario,
+            "config": self.config,
+            "deterministic": self.deterministic,
+            "directions": self.directions(),
+            "wall_clock": self.wall_clock,
+            "gating": {
+                "deterministic": "gate",
+                "wall_clock": "informational",
+            },
+        }
+
+
+def _round(value: float, decimals: int = 3) -> float:
+    return round(float(value), decimals)
+
+
+def _base_config(scale: PerfScale, seed: int, **overrides) -> SPFreshConfig:
+    base = dict(
+        dim=scale.dim,
+        seed=seed,
+        ssd_blocks=1 << 16,
+        centroid_index_kind="brute",
+    )
+    base.update(overrides)
+    return SPFreshConfig(**base).validate()
+
+
+def _queries(dataset, scale: PerfScale, seed: int) -> np.ndarray:
+    """Seeded query set: perturbed samples of the base distribution."""
+    rng = np.random.default_rng(seed + 1)
+    picks = rng.integers(0, len(dataset.base), size=scale.queries)
+    noise = rng.normal(scale=0.05, size=(scale.queries, scale.dim))
+    return (dataset.base[picks] + noise).astype(np.float32)
+
+
+def _scenario_config(scale: PerfScale, seed: int, config: SPFreshConfig) -> dict:
+    return {
+        "scale": scale.name,
+        "seed": seed,
+        "base_vectors": scale.base_vectors,
+        "dim": scale.dim,
+        "k": scale.k,
+        "nprobe": scale.nprobe,
+        "max_posting_size": config.max_posting_size,
+        "min_posting_size": config.min_posting_size,
+        "read_latency_us": config.read_latency_us,
+        "write_latency_us": config.write_latency_us,
+        "queue_depth": config.queue_depth,
+    }
+
+
+# ----------------------------------------------------------------------
+# scenarios
+# ----------------------------------------------------------------------
+def scenario_search(scale: PerfScale, seed: int) -> ScenarioResult:
+    """Single and batched search over a freshly built index."""
+    dataset = make_sift_like(scale.base_vectors, 0, dim=scale.dim, seed=seed)
+    config = _base_config(scale, seed)
+    index = SPFreshIndex.build(dataset.base, config=config)
+    queries = _queries(dataset, scale, seed)
+    truth = exact_knn(
+        dataset.base, np.arange(scale.base_vectors), queries, scale.k
+    )
+
+    latencies: list[float] = []
+    io_latencies: list[float] = []
+    probed: list[int] = []
+    scanned: list[int] = []
+    result_ids = []
+    before = index.ssd.stats.snapshot()
+    wall_start = time.perf_counter()
+    for query in queries:
+        result = index.search(query, scale.k, nprobe=scale.nprobe)
+        latencies.append(result.latency_us)
+        io_latencies.append(result.io_latency_us)
+        probed.append(result.postings_probed)
+        scanned.append(result.entries_scanned)
+        result_ids.append(result.ids)
+    single_wall = time.perf_counter() - wall_start
+    single_window = index.ssd.stats.since(before)
+
+    batch_latencies: list[float] = []
+    batch_ids = []
+    before = index.ssd.stats.snapshot()
+    wall_start = time.perf_counter()
+    for start in range(0, len(queries), scale.batch_size):
+        chunk = queries[start : start + scale.batch_size]
+        for result in index.search_batch(chunk, scale.k, nprobe=scale.nprobe):
+            batch_latencies.append(result.latency_us)
+            batch_ids.append(result.ids)
+    batch_wall = time.perf_counter() - wall_start
+    batch_window = index.ssd.stats.since(before)
+
+    # Read amplification: device bytes fetched per byte of result payload.
+    result_bytes = len(queries) * scale.k * scale.dim * 4
+    deterministic = {
+        **percentile_metrics(latencies, "single_latency_us"),
+        **percentile_metrics(io_latencies, "single_io_latency_us"),
+        **percentile_metrics(batch_latencies, "batch_latency_us"),
+        "single_recall_at_k": _round(recall_at_k(result_ids, truth, scale.k), 4),
+        "batch_recall_at_k": _round(recall_at_k(batch_ids, truth, scale.k), 4),
+        "single_postings_probed_mean": _round(np.mean(probed)),
+        "single_entries_scanned_mean": _round(np.mean(scanned)),
+        "single_io_waves_mean": _round(
+            np.mean(io_latencies) / config.read_latency_us
+        ),
+        "single_read_amplification": _round(
+            single_window.read_amplification(result_bytes)
+        ),
+        "batch_read_amplification": _round(
+            batch_window.read_amplification(result_bytes)
+        ),
+        **single_window.to_metrics("single_io"),
+        **batch_window.to_metrics("batch_io"),
+    }
+    wall_clock = {
+        "single_search_qps": _round(
+            len(queries) / single_wall if single_wall > 0 else 0.0
+        ),
+        "batch_search_qps": _round(
+            len(queries) / batch_wall if batch_wall > 0 else 0.0
+        ),
+    }
+    return ScenarioResult(
+        scenario="search",
+        config={**_scenario_config(scale, seed, config), "queries": len(queries)},
+        deterministic=deterministic,
+        wall_clock=wall_clock,
+    )
+
+
+def scenario_update(scale: PerfScale, seed: int) -> ScenarioResult:
+    """Interleaved insert/delete churn through the foreground updater."""
+    dataset = make_sift_like(
+        scale.base_vectors, scale.updates, dim=scale.dim, seed=seed
+    )
+    # Tight posting geometry so the churn actually crosses split/merge
+    # thresholds and the LIRE counters carry signal.
+    config = _base_config(
+        scale,
+        seed,
+        max_posting_size=48,
+        min_posting_size=4,
+        build_target_posting_size=24,
+    )
+    index = SPFreshIndex.build(dataset.base, config=config)
+    rng = np.random.default_rng(seed + 2)
+
+    insert_lat: list[float] = []
+    delete_lat: list[float] = []
+    deletable = list(range(scale.base_vectors))
+    next_pool = 0
+    stats_before = index.stats.snapshot()
+    io_before = index.ssd.stats.snapshot()
+    wall_start = time.perf_counter()
+    for op in range(scale.updates):
+        # 2:1 insert:delete mix keeps the index growing while exercising
+        # tombstones; the schedule is fully determined by the seed.
+        if op % 3 != 2 and next_pool < len(dataset.pool):
+            insert_lat.append(
+                index.insert(1_000_000 + next_pool, dataset.pool[next_pool])
+            )
+            next_pool += 1
+        elif deletable:
+            victim = deletable.pop(int(rng.integers(len(deletable))))
+            delete_lat.append(index.delete(victim))
+    index.drain()
+    wall = time.perf_counter() - wall_start
+    window = index.ssd.stats.since(io_before)
+    delta = index.stats.snapshot().delta(stats_before)
+
+    inserted_bytes = len(insert_lat) * scale.dim * 4
+    deterministic = {
+        **percentile_metrics(insert_lat, "insert_latency_us"),
+        **percentile_metrics(delete_lat, "delete_latency_us"),
+        "splits": float(delta.splits),
+        "merges": float(delta.merges),
+        "reassign_evaluated": float(delta.reassign_evaluated),
+        "reassign_executed": float(delta.reassign_executed),
+        "appends": float(delta.appends),
+        "write_amplification": _round(
+            window.write_amplification(inserted_bytes)
+        ),
+        "background_io_us": _round(index.rebuilder.background_io_us),
+        **window.to_metrics("io"),
+    }
+    wall_clock = {
+        "updates_per_s": _round(scale.updates / wall if wall > 0 else 0.0),
+    }
+    return ScenarioResult(
+        scenario="update",
+        config={
+            **_scenario_config(scale, seed, config),
+            "updates": scale.updates,
+            "inserts": len(insert_lat),
+            "deletes": len(delete_lat),
+        },
+        deterministic=deterministic,
+        wall_clock=wall_clock,
+    )
+
+
+def scenario_rebalance(scale: PerfScale, seed: int) -> ScenarioResult:
+    """Split+merge+reassign storm: hot-cluster burst, then mass deletion."""
+    dataset = make_sift_like(
+        max(scale.base_vectors // 2, 200), 0, dim=scale.dim, seed=seed
+    )
+    # Tight posting geometry so the burst forces real rebalancing work.
+    config = _base_config(
+        scale,
+        seed,
+        max_posting_size=48,
+        min_posting_size=4,
+        build_target_posting_size=24,
+        reassign_range=12,
+    )
+    index = SPFreshIndex.build(dataset.base, config=config)
+    rng = np.random.default_rng(seed + 3)
+    hot_center = dataset.cluster_centers[0]
+
+    stats_before = index.stats.snapshot()
+    io_before = index.ssd.stats.snapshot()
+    postings_before = index.num_postings
+    wall_start = time.perf_counter()
+    hot_ids = []
+    for i in range(scale.storm_inserts):
+        vector = (
+            hot_center + rng.normal(scale=0.2, size=scale.dim)
+        ).astype(np.float32)
+        vid = 2_000_000 + i
+        index.insert(vid, vector)
+        hot_ids.append(vid)
+    index.drain()
+    split_window = index.ssd.stats.since(io_before)
+
+    # Delete most of the burst, sweep queries over the hot region (the
+    # paper's searcher-triggered merge path), then run the proactive
+    # maintenance scanner so postings queries missed are merged/GC'd too.
+    victims = rng.permutation(len(hot_ids))[: int(len(hot_ids) * 0.9)]
+    for pick in victims:
+        index.delete(hot_ids[int(pick)])
+    probes = (
+        hot_center + rng.normal(scale=0.3, size=(64, scale.dim))
+    ).astype(np.float32)
+    for query in probes:
+        index.search(query, scale.k, nprobe=scale.nprobe)
+    index.drain()
+    from repro.core.maintenance import MaintenanceScanner
+
+    scan = MaintenanceScanner(index).scan()
+    index.drain()
+    wall = time.perf_counter() - wall_start
+    window = index.ssd.stats.since(io_before)
+    delta = index.stats.snapshot().delta(stats_before)
+    sizes = index.posting_sizes()
+
+    deterministic = {
+        "splits": float(delta.splits),
+        "split_jobs": float(delta.split_jobs),
+        "merges": float(delta.merges),
+        "merge_jobs": float(delta.merge_jobs),
+        "reassign_evaluated": float(delta.reassign_evaluated),
+        "reassign_scheduled": float(delta.reassign_scheduled),
+        "reassign_executed": float(delta.reassign_executed),
+        "split_cascade_max_depth": float(delta.split_cascade_max_depth),
+        "scan_merges_scheduled": float(scan.merges_scheduled),
+        "scan_gc_rewrites": float(scan.gc_rewrites),
+        "scan_dead_entries_seen": float(scan.dead_entries_seen),
+        "background_io_us": _round(index.rebuilder.background_io_us),
+        "postings_before": float(postings_before),
+        "postings_after": float(index.num_postings),
+        "posting_size_mean": _round(sizes.mean()),
+        "posting_size_max": float(sizes.max()),
+        "split_phase_block_writes": float(split_window.block_writes),
+        **window.to_metrics("io"),
+    }
+    wall_clock = {
+        "storm_ops_per_s": _round(
+            (scale.storm_inserts + len(victims)) / wall if wall > 0 else 0.0
+        ),
+    }
+    return ScenarioResult(
+        scenario="rebalance",
+        config={
+            **_scenario_config(scale, seed, config),
+            "storm_inserts": scale.storm_inserts,
+            "storm_deletes": len(victims),
+        },
+        deterministic=deterministic,
+        wall_clock=wall_clock,
+    )
+
+
+def scenario_recovery(scale: PerfScale, seed: int) -> ScenarioResult:
+    """WAL append cost plus snapshot + WAL-replay recovery after a restart."""
+    dataset = make_sift_like(
+        max(scale.base_vectors // 2, 200),
+        scale.recovery_updates,
+        dim=scale.dim,
+        seed=seed,
+    )
+    config = _base_config(scale, seed)
+    wal = WriteAheadLog()
+    snapshots = SnapshotManager()
+    index = SPFreshIndex.build(
+        dataset.base, config=config, wal=wal, snapshots=snapshots
+    )
+    index.checkpoint()
+
+    rng = np.random.default_rng(seed + 4)
+    wall_start = time.perf_counter()
+    for i in range(scale.recovery_updates):
+        if i % 4 == 3:
+            index.delete(int(rng.integers(len(dataset.base))))
+        else:
+            index.insert(3_000_000 + i, dataset.pool[i])
+    update_wall = time.perf_counter() - wall_start
+    wal_bytes = wal.size_bytes()
+    live_before = index.live_vector_count
+
+    io_before = index.ssd.stats.snapshot()
+    wall_start = time.perf_counter()
+    recovered = SPFreshIndex.recover(index.ssd, config, snapshots, wal=wal)
+    recovery_wall = time.perf_counter() - wall_start
+    window = recovered.ssd.stats.since(io_before)
+    report = recovered.last_recovery
+
+    deterministic = {
+        "wal_bytes": float(wal_bytes),
+        "wal_bytes_per_update": _round(wal_bytes / scale.recovery_updates),
+        "wal_records_replayed": float(report.records_replayed),
+        "wal_records_skipped": float(report.records_skipped),
+        "wal_records_quarantined": float(report.records_quarantined),
+        "recovery_apply_errors": float(report.records_failed),
+        "live_vectors_recovered": float(recovered.live_vector_count),
+        "live_vector_drift": float(
+            abs(recovered.live_vector_count - live_before)
+        ),
+        **window.to_metrics("recovery_io"),
+    }
+    wall_clock = {
+        "logged_updates_per_s": _round(
+            scale.recovery_updates / update_wall if update_wall > 0 else 0.0
+        ),
+        "recovery_s": _round(recovery_wall, 4),
+    }
+    return ScenarioResult(
+        scenario="recovery",
+        config={
+            **_scenario_config(scale, seed, config),
+            "recovery_updates": scale.recovery_updates,
+        },
+        deterministic=deterministic,
+        wall_clock=wall_clock,
+    )
+
+
+def scenario_cache(scale: PerfScale, seed: int) -> ScenarioResult:
+    """Cached vs uncached search: the posting-cache ablation's trajectory."""
+    dataset = make_sift_like(scale.base_vectors, 0, dim=scale.dim, seed=seed)
+    config = _base_config(scale, seed)
+    index = SPFreshIndex.build(dataset.base, config=config)
+    queries = _queries(dataset, scale, seed)
+
+    def _searcher(controller) -> SpannSearcher:
+        return SpannSearcher(
+            index.centroid_index,
+            controller,
+            index.version_map,
+            default_nprobe=scale.nprobe,
+            latency_budget_us=config.search_latency_budget_us,
+            cpu_cost_per_entry_us=config.cpu_cost_per_entry_us,
+            cpu_cost_per_query_us=config.cpu_cost_per_query_us,
+        )
+
+    def _sweep(searcher) -> tuple[list[float], list[float]]:
+        lat, io_lat = [], []
+        for query in queries:
+            result = searcher.search(query, scale.k, nprobe=scale.nprobe)
+            lat.append(result.latency_us)
+            io_lat.append(result.io_latency_us)
+        return lat, io_lat
+
+    plain = _searcher(index.controller)
+    before = index.ssd.stats.snapshot()
+    uncached_lat, uncached_io = _sweep(plain)
+    uncached_window = index.ssd.stats.since(before)
+
+    cached_controller = CachedBlockController(index.controller, capacity=256)
+    cached = _searcher(cached_controller)
+    _sweep(cached)  # cold pass: populate the cache
+    cached_controller.hits = 0
+    cached_controller.misses = 0
+    before = index.ssd.stats.snapshot()
+    cached_lat, cached_io = _sweep(cached)
+    cached_window = index.ssd.stats.since(before)
+
+    uncached_mean = float(np.mean(uncached_lat))
+    cached_mean = float(np.mean(cached_lat))
+    deterministic = {
+        **percentile_metrics(uncached_lat, "uncached_latency_us"),
+        **percentile_metrics(cached_lat, "cached_latency_us"),
+        **percentile_metrics(uncached_io, "uncached_io_latency_us"),
+        **percentile_metrics(cached_io, "cached_io_latency_us"),
+        "cache_hit_rate": _round(cached_controller.hit_rate, 4),
+        "cache_speedup": _round(
+            uncached_mean / cached_mean if cached_mean > 0 else 0.0
+        ),
+        "uncached_block_reads": float(uncached_window.block_reads),
+        "cached_block_reads": float(cached_window.block_reads),
+    }
+    return ScenarioResult(
+        scenario="cache",
+        config={
+            **_scenario_config(scale, seed, config),
+            "queries": len(queries),
+            "cache_capacity": 256,
+        },
+        deterministic=deterministic,
+        wall_clock={},
+    )
+
+
+SCENARIOS = {
+    "search": scenario_search,
+    "update": scenario_update,
+    "rebalance": scenario_rebalance,
+    "recovery": scenario_recovery,
+    "cache": scenario_cache,
+}
+
+
+def run_scenarios(
+    scale: PerfScale,
+    seed: int = 0,
+    scenarios: list[str] | None = None,
+    progress: bool = False,
+) -> list[ScenarioResult]:
+    """Run the requested scenarios (all by default) at one scale/seed."""
+    names = scenarios or list(SCENARIOS)
+    results: list[ScenarioResult] = []
+    for name in names:
+        if name not in SCENARIOS:
+            raise ValueError(
+                f"unknown scenario {name!r}; choose from {sorted(SCENARIOS)}"
+            )
+        started = time.perf_counter()
+        result = SCENARIOS[name](scale, seed)
+        if progress:
+            print(
+                f"[perf] {name}: {len(result.deterministic)} metrics "
+                f"in {time.perf_counter() - started:.1f}s"
+            )
+        results.append(result)
+    return results
+
+
+# ----------------------------------------------------------------------
+# emission
+# ----------------------------------------------------------------------
+def write_results(
+    results: list[ScenarioResult], out_dir: str | Path
+) -> list[Path]:
+    """Write one ``BENCH_<scenario>.json`` per result; returns the paths."""
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    paths = []
+    for result in results:
+        path = out / f"{FILE_PREFIX}{result.scenario}.json"
+        with open(path, "w") as fh:
+            json.dump(result.to_document(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        paths.append(path)
+    return paths
+
+
+def load_documents(directory: str | Path) -> dict[str, dict]:
+    """Load every ``BENCH_*.json`` in a directory, keyed by scenario."""
+    docs: dict[str, dict] = {}
+    for path in sorted(Path(directory).glob(f"{FILE_PREFIX}*.json")):
+        with open(path) as fh:
+            doc = json.load(fh)
+        docs[doc.get("scenario", path.stem[len(FILE_PREFIX) :])] = doc
+    return docs
+
+
+def run_markdown_summary(results: list[ScenarioResult]) -> str:
+    """Compact per-scenario headline table for PR logs."""
+    headline_order = (
+        "single_latency_us_p50",
+        "single_latency_us_p99.9",
+        "insert_latency_us_p99.9",
+        "cached_latency_us_p50",
+        "single_recall_at_k",
+        "cache_hit_rate",
+        "splits",
+        "merges",
+        "reassign_executed",
+        "wal_records_replayed",
+        "io_block_reads",
+        "io_block_writes",
+    )
+    rows = []
+    for result in results:
+        picks = [k for k in headline_order if k in result.deterministic]
+        headline = ", ".join(
+            f"{k}={result.deterministic[k]:g}" for k in picks[:4]
+        )
+        rows.append(
+            (result.scenario, len(result.deterministic), headline or "—")
+        )
+    return format_markdown_table(
+        ["scenario", "gated metrics", "headline"],
+        rows,
+        title="perf harness results (deterministic section)",
+    )
+
+
+# ----------------------------------------------------------------------
+# baseline comparison
+# ----------------------------------------------------------------------
+@dataclass
+class MetricDelta:
+    """One metric compared across baseline and current runs."""
+
+    scenario: str
+    metric: str
+    baseline: float | None
+    current: float | None
+    direction: str  # "lower" | "higher"
+    rel_change: float  # positive = worse, negative = better
+    verdict: str  # "ok" | "regression" | "improvement" | "new" | "missing"
+
+
+@dataclass
+class CompareReport:
+    """Outcome of comparing two ``BENCH_*.json`` directories."""
+
+    tolerance: float
+    deltas: list[MetricDelta] = field(default_factory=list)
+    missing_scenarios: list[str] = field(default_factory=list)
+    new_scenarios: list[str] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> list[MetricDelta]:
+        return [d for d in self.deltas if d.verdict in ("regression", "missing")]
+
+    @property
+    def improvements(self) -> list[MetricDelta]:
+        return [d for d in self.deltas if d.verdict == "improvement"]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions and not self.missing_scenarios
+
+    def markdown(self, max_ok_rows: int = 0) -> str:
+        rows = []
+        for delta in self.deltas:
+            if delta.verdict == "ok" and not max_ok_rows:
+                continue
+            rows.append(
+                (
+                    delta.scenario,
+                    delta.metric,
+                    "—" if delta.baseline is None else f"{delta.baseline:g}",
+                    "—" if delta.current is None else f"{delta.current:g}",
+                    f"{delta.rel_change:+.1%}"
+                    if math.isfinite(delta.rel_change)
+                    else "inf",
+                    delta.verdict,
+                )
+            )
+        if not rows:
+            rows.append(("all", "—", "—", "—", "+0.0%", "ok"))
+        return format_markdown_table(
+            ["scenario", "metric", "baseline", "current", "change", "verdict"],
+            rows,
+            title=f"perf comparison (tolerance {self.tolerance:.0%})",
+        )
+
+    def summary(self) -> str:
+        state = "OK" if self.ok else "REGRESSION"
+        lines = [
+            f"perf compare: {state} — {len(self.regressions)} regressions, "
+            f"{len(self.improvements)} improvements over "
+            f"{len(self.deltas)} metrics (tolerance {self.tolerance:.1%})"
+        ]
+        for delta in self.regressions[:10]:
+            change = (
+                f"{delta.rel_change:+.1%}"
+                if math.isfinite(delta.rel_change)
+                else "inf"
+            )
+            lines.append(
+                f"  REGRESSION {delta.scenario}.{delta.metric}: "
+                f"{delta.baseline} -> {delta.current} ({change})"
+            )
+        for name in self.missing_scenarios:
+            lines.append(f"  MISSING scenario {name}: no current BENCH file")
+        return "\n".join(lines)
+
+
+def _compare_metric(
+    baseline: float, current: float, direction: str
+) -> float:
+    """Relative regression amount (positive = worse in `direction` terms)."""
+    if direction == "higher":
+        worse = baseline - current
+    else:
+        worse = current - baseline
+    if baseline == 0:
+        if worse == 0:
+            return 0.0
+        return math.inf if worse > 0 else -math.inf
+    return worse / abs(baseline)
+
+
+def compare_documents(
+    baseline_docs: dict[str, dict],
+    current_docs: dict[str, dict],
+    tolerance: float,
+) -> CompareReport:
+    """Compare deterministic sections; wall-clock is never gated."""
+    report = CompareReport(tolerance=tolerance)
+    for scenario, base_doc in sorted(baseline_docs.items()):
+        cur_doc = current_docs.get(scenario)
+        if cur_doc is None:
+            report.missing_scenarios.append(scenario)
+            continue
+        base_metrics = base_doc.get("deterministic", {})
+        cur_metrics = cur_doc.get("deterministic", {})
+        directions = {
+            **base_doc.get("directions", {}),
+            **cur_doc.get("directions", {}),
+        }
+        for metric in sorted(set(base_metrics) | set(cur_metrics)):
+            direction = directions.get(metric, "lower")
+            base_val = base_metrics.get(metric)
+            cur_val = cur_metrics.get(metric)
+            if base_val is None:
+                # New metric: no baseline to gate against, never a failure.
+                report.deltas.append(
+                    MetricDelta(scenario, metric, None, cur_val, direction, 0.0, "new")
+                )
+                continue
+            if cur_val is None:
+                # A gated metric vanished — treat as a regression so gates
+                # cannot be silently deleted.
+                report.deltas.append(
+                    MetricDelta(
+                        scenario, metric, base_val, None, direction, math.inf, "missing"
+                    )
+                )
+                continue
+            rel = _compare_metric(float(base_val), float(cur_val), direction)
+            if rel > tolerance:
+                verdict = "regression"
+            elif rel < -tolerance:
+                verdict = "improvement"
+            else:
+                verdict = "ok"
+            report.deltas.append(
+                MetricDelta(
+                    scenario, metric, float(base_val), float(cur_val), direction, rel, verdict
+                )
+            )
+    report.new_scenarios = sorted(set(current_docs) - set(baseline_docs))
+    return report
+
+
+def compare_dirs(
+    baseline_dir: str | Path, current_dir: str | Path, tolerance: float
+) -> CompareReport:
+    """Compare every ``BENCH_*.json`` in two directories."""
+    return compare_documents(
+        load_documents(baseline_dir), load_documents(current_dir), tolerance
+    )
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--scale", choices=sorted(PERF_SCALES), default="quick",
+        help="workload scale preset (see repro.bench.scales.PERF_SCALES)",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="alias for --scale quick (the CI tier)",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--out", default=".",
+        help="directory that receives BENCH_*.json (default: repo root)",
+    )
+    parser.add_argument(
+        "--scenarios", nargs="+", choices=sorted(SCENARIOS), default=None,
+        help="subset of scenarios to run (default: all)",
+    )
+    parser.add_argument(
+        "--compare", metavar="BASELINE_DIR", default=None,
+        help="compare --out against a baseline BENCH_*.json directory; "
+        "exit nonzero on deterministic-metric regressions",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=0.05,
+        help="relative regression tolerance for --compare (default 0.05)",
+    )
+    parser.add_argument(
+        "--compare-only", action="store_true",
+        help="skip running scenarios; just compare --out against --compare",
+    )
+    parser.add_argument(
+        "--summary", metavar="PATH", default=None,
+        help="also write the markdown summary/comparison to this file",
+    )
+    args = parser.parse_args(argv)
+    if args.quick:
+        args.scale = "quick"
+    scale = PERF_SCALES[args.scale]
+
+    summary_parts: list[str] = []
+    if not args.compare_only:
+        results = run_scenarios(
+            scale, seed=args.seed, scenarios=args.scenarios, progress=True
+        )
+        paths = write_results(results, args.out)
+        print(f"[perf] wrote {len(paths)} files to {Path(args.out).resolve()}")
+        summary_parts.append(run_markdown_summary(results))
+
+    exit_code = 0
+    if args.compare is not None:
+        report = compare_dirs(args.compare, args.out, args.tolerance)
+        summary_parts.append(report.markdown())
+        print(report.summary())
+        exit_code = 0 if report.ok else 1
+    elif args.compare_only:
+        parser.error("--compare-only requires --compare")
+
+    summary = "\n\n".join(summary_parts)
+    if summary:
+        print()
+        print(summary)
+    if args.summary:
+        with open(args.summary, "w") as fh:
+            fh.write(summary + "\n")
+    return exit_code
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -41,6 +41,28 @@ def format_table(
     return "\n".join(lines)
 
 
+def format_markdown_table(
+    headers: Sequence[str], rows: Iterable[Sequence], title: str | None = None
+) -> str:
+    """Render rows as a GitHub-flavored markdown table (for PR logs)."""
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(f"### {title}")
+        lines.append("")
+    lines.append("| " + " | ".join(h.ljust(w) for h, w in zip(headers, widths)) + " |")
+    lines.append("| " + " | ".join("-" * w for w in widths) + " |")
+    for row in str_rows:
+        lines.append(
+            "| " + " | ".join(c.rjust(w) for c, w in zip(row, widths)) + " |"
+        )
+    return "\n".join(lines)
+
+
 def format_series(
     day_metrics,
     fields: Sequence[str] = (

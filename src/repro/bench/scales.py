@@ -1,0 +1,92 @@
+"""Shared workload-scale presets for the figure benches and the perf harness.
+
+One place defines how big a benchmark run is, so the pytest figure benches
+(`benchmarks/conftest.py`) and the perf-regression harness
+(`repro.bench.perf`) agree on what "small"/"quick"/"large" mean and CI
+lanes can pick a scale by name.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class BenchScale:
+    """Knobs of the day-series figure benches (Figures 7/9 style)."""
+
+    base_vectors: int
+    days: int
+    daily_rate: float
+    queries: int
+    stress_base: int
+    stress_days: int
+
+
+SCALES = {
+    "small": BenchScale(
+        base_vectors=4000, days=12, daily_rate=0.015, queries=50,
+        stress_base=12000, stress_days=6,
+    ),
+    "large": BenchScale(
+        base_vectors=10000, days=30, daily_rate=0.01, queries=100,
+        stress_base=40000, stress_days=10,
+    ),
+}
+
+
+@dataclass(frozen=True)
+class PerfScale:
+    """Knobs of one perf-harness run (`repro.bench.perf`).
+
+    Everything here feeds seeded generators, so a (scale, seed) pair fully
+    determines the simulated-metric sections of every ``BENCH_*.json``.
+    """
+
+    name: str
+    base_vectors: int
+    dim: int
+    queries: int  # single-query search probes
+    batch_size: int  # queries per search_batch submission
+    updates: int  # insert/delete ops in the update scenario
+    storm_inserts: int  # hot-cluster burst size in the rebalance scenario
+    recovery_updates: int  # WAL'd updates replayed in the recovery scenario
+    k: int = 10
+    nprobe: int = 8
+
+
+PERF_SCALES = {
+    # CI-tier run: the `--quick` flag; a couple of minutes end to end.
+    "quick": PerfScale(
+        name="quick",
+        base_vectors=4000,
+        dim=32,
+        queries=400,
+        batch_size=32,
+        updates=2400,
+        storm_inserts=900,
+        recovery_updates=600,
+    ),
+    # Unit-test tier: seconds, still exercises every metric.
+    "tiny": PerfScale(
+        name="tiny",
+        base_vectors=600,
+        dim=8,
+        queries=60,
+        batch_size=16,
+        updates=220,
+        storm_inserts=160,
+        recovery_updates=80,
+    ),
+    # Local deep-dive tier (not wired into CI).
+    "full": PerfScale(
+        name="full",
+        base_vectors=6000,
+        dim=32,
+        queries=1000,
+        batch_size=64,
+        updates=6000,
+        storm_inserts=2400,
+        recovery_updates=1500,
+    ),
+}

@@ -6,6 +6,7 @@ Usage::
     python -m repro simulate --days 10       # Figure-7-style day series
     python -m repro compare --days 7         # SPFresh vs SPANN+ vs DiskANN
     python -m repro sweep-nprobe             # recall/latency trade-off
+    python -m repro perf --quick             # BENCH_*.json perf harness
 
 Every subcommand prints the same ASCII tables the benches emit, so the
 CLI is the interactive way to poke at the system; `benchmarks/` remains
@@ -175,6 +176,13 @@ def cmd_compare(args) -> int:
     return 0
 
 
+def cmd_perf(args) -> int:
+    """Run the deterministic perf-regression harness (BENCH_*.json)."""
+    from repro.bench.perf import main as perf_main
+
+    return perf_main(args.perf_args)
+
+
 def cmd_sweep_nprobe(args) -> int:
     """Trace the recall/latency trade-off across nprobe settings."""
     from repro.bench.reporting import format_table
@@ -225,12 +233,30 @@ def build_parser() -> argparse.ArgumentParser:
     sweep = sub.add_parser("sweep-nprobe", help="recall/latency curve")
     _add_common(sweep)
     sweep.set_defaults(func=cmd_sweep_nprobe)
+
+    perf = sub.add_parser(
+        "perf",
+        help="perf-regression harness (BENCH_*.json); flags pass through",
+        add_help=False,
+    )
+    perf.add_argument("perf_args", nargs=argparse.REMAINDER)
+    perf.set_defaults(func=cmd_perf)
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
-    args = build_parser().parse_args(argv)
+    import sys
+
+    tokens = list(sys.argv[1:] if argv is None else argv)
+    if tokens and tokens[0] == "perf":
+        # Dispatch before argparse: REMAINDER positionals swallow leading
+        # `--flags` into the root parser (bpo-17050), so hand the whole
+        # tail to the perf harness's own parser instead.
+        from repro.bench.perf import main as perf_main
+
+        return perf_main(tokens[1:])
+    args = build_parser().parse_args(tokens)
     return args.func(args)
 
 

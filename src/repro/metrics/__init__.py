@@ -1,7 +1,11 @@
 """Evaluation metrics: recall, latency percentiles, resource accounting."""
 
 from repro.metrics.recall import recall_at_k, recall_curve
-from repro.metrics.latency import LatencyTracker
+from repro.metrics.latency import (
+    LatencyTracker,
+    percentile_label,
+    percentile_metrics,
+)
 from repro.metrics.resources import ResourceModel, index_memory_report
 from repro.metrics.tracing import TraceEvent, TraceLog, TracedIndex
 
@@ -9,6 +13,8 @@ __all__ = [
     "recall_at_k",
     "recall_curve",
     "LatencyTracker",
+    "percentile_label",
+    "percentile_metrics",
     "ResourceModel",
     "index_memory_report",
     "TraceEvent",

@@ -7,6 +7,41 @@ import numpy as np
 PERCENTILES = (50.0, 90.0, 95.0, 99.0, 99.9)
 
 
+def percentile_label(p: float) -> str:
+    """``50.0 -> "p50"``, ``99.9 -> "p99.9"`` — stable metric-name suffixes."""
+    return f"p{str(p).rstrip('0').rstrip('.')}"
+
+
+def percentile_metrics(
+    samples,
+    prefix: str = "",
+    percentiles=PERCENTILES,
+    decimals: int = 3,
+) -> dict[str, float]:
+    """Flatten a sample list into a ``{prefix_pXX: value}`` metric dict.
+
+    The output is what the perf harness writes into the deterministic
+    section of ``BENCH_*.json``: plain floats rounded to ``decimals`` so a
+    re-run under the same seed serializes byte-identically, keys in a
+    stable paper-style naming scheme (p50/p90/p95/p99/p99.9 + mean/max).
+    """
+    values = np.asarray(list(samples), dtype=np.float64)
+    sep = "_" if prefix and not prefix.endswith("_") else ""
+    key = f"{prefix}{sep}" if prefix else ""
+    if values.size == 0:
+        out = {f"{key}{percentile_label(p)}": 0.0 for p in percentiles}
+        out[f"{key}mean"] = 0.0
+        out[f"{key}max"] = 0.0
+        return out
+    out = {
+        f"{key}{percentile_label(p)}": round(float(np.percentile(values, p)), decimals)
+        for p in percentiles
+    }
+    out[f"{key}mean"] = round(float(values.mean()), decimals)
+    out[f"{key}max"] = round(float(values.max()), decimals)
+    return out
+
+
 class LatencyTracker:
     """Accumulates latency samples and reports paper-style percentiles."""
 
@@ -37,7 +72,7 @@ class LatencyTracker:
 
     def summary(self) -> dict[str, float]:
         """All standard percentiles plus mean, in microseconds."""
-        out = {f"p{str(p).rstrip('0').rstrip('.')}": self.percentile(p) for p in PERCENTILES}
+        out = {percentile_label(p): self.percentile(p) for p in PERCENTILES}
         out["mean"] = self.mean
         out["max"] = self.max
         return out

@@ -57,6 +57,17 @@ class IOStats:
         with self._lock:
             return self.block_reads + self.block_writes
 
+    def since(self, earlier: "IOWindow") -> "IOWindow":
+        """Counters accumulated since ``earlier`` (a prior :meth:`snapshot`).
+
+        Convenience for the common measure-a-window idiom::
+
+            before = ssd.stats.snapshot()
+            ...workload...
+            window = ssd.stats.since(before)
+        """
+        return self.snapshot().delta(earlier)
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (
             f"IOStats(reads={self.block_reads}, writes={self.block_writes}, "
@@ -97,3 +108,33 @@ class IOWindow:
         if wall_s <= 0:
             return 0.0
         return self.block_ios / wall_s
+
+    def read_amplification(self, useful_bytes: int) -> float:
+        """Device bytes read per logically useful byte (0 when undefined)."""
+        if useful_bytes <= 0:
+            return 0.0
+        return self.bytes_read / useful_bytes
+
+    def write_amplification(self, useful_bytes: int) -> float:
+        """Device bytes written per logically useful byte (0 when undefined)."""
+        if useful_bytes <= 0:
+            return 0.0
+        return self.bytes_written / useful_bytes
+
+    def to_metrics(self, prefix: str = "io") -> dict[str, float]:
+        """Flatten the window into perf-harness metric names.
+
+        Every counter here is deterministic under a seeded single-threaded
+        workload, so these land in the gated section of ``BENCH_*.json``.
+        """
+        sep = "_" if prefix and not prefix.endswith("_") else ""
+        key = f"{prefix}{sep}" if prefix else ""
+        return {
+            f"{key}block_reads": float(self.block_reads),
+            f"{key}block_writes": float(self.block_writes),
+            f"{key}read_ops": float(self.read_ops),
+            f"{key}write_ops": float(self.write_ops),
+            f"{key}bytes_read": float(self.bytes_read),
+            f"{key}bytes_written": float(self.bytes_written),
+            f"{key}busy_us": round(self.busy_us, 3),
+        }

@@ -1,7 +1,6 @@
 """Tests for the batched multi-query search path."""
 
 import numpy as np
-import pytest
 
 
 class TestSearchBatch:

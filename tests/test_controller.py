@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.storage.controller import MAPPING_ENTRY_BYTES, BlockController
-from repro.storage.layout import PostingCodec, PostingData
+from repro.storage.layout import PostingData
 from repro.storage.ssd import SimulatedSSD, SSDProfile
 from repro.util.errors import OutOfSpaceError, StalePostingError, StorageError
 from tests.conftest import DIM, make_posting

@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.core.config import SPFreshConfig
 from repro.core.index import SPFreshIndex
 from repro.datasets import GroundTruthTracker, exact_knn
 from repro.distributed import ShardRouter, ShardedSPFresh

@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.core.config import SPFreshConfig
 from repro.core.index import SPFreshIndex
 from repro.storage.filedev import FileBackedSSD
 from repro.storage.snapshot import SnapshotManager

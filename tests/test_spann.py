@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.core.config import SPFreshConfig
 from repro.core.index import SPFreshIndex
 from repro.core.version_map import VersionMap
 from repro.spann.build import build_plan

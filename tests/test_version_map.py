@@ -5,7 +5,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.version_map import DELETED_BIT, VERSION_MASK, VersionMap
+from repro.core.version_map import VERSION_MASK, VersionMap
 from repro.util.errors import IndexError_
 
 
