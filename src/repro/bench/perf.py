@@ -507,12 +507,104 @@ def scenario_cache(scale: PerfScale, seed: int) -> ScenarioResult:
     )
 
 
+def scenario_throughput(scale: PerfScale, seed: int) -> ScenarioResult:
+    """Vectorized-engine throughput: batched-vs-single parity plus wall QPS.
+
+    Parity and scan counters run at the searcher layer (no maintenance side
+    effects), so ``batch_single_mismatches`` gates the bit-identity contract
+    of the vectorized batch path. QPS numbers are wall clock and therefore
+    informational; ``profiled_batch_qps`` re-runs the batched sweep with the
+    wall-clock profiler enabled so its overhead is visible in the report.
+    """
+    dataset = make_sift_like(scale.base_vectors, 0, dim=scale.dim, seed=seed)
+    config = _base_config(scale, seed)
+    index = SPFreshIndex.build(dataset.base, config=config)
+    searcher = index.searcher
+    queries = _queries(dataset, scale, seed)
+    truth = exact_knn(
+        dataset.base, np.arange(scale.base_vectors), queries, scale.k
+    )
+
+    single_results = []
+    wall_start = time.perf_counter()
+    for query in queries:
+        single_results.append(searcher.search(query, scale.k, nprobe=scale.nprobe))
+    single_wall = time.perf_counter() - wall_start
+
+    before = index.ssd.stats.snapshot()
+    batch_results = []
+    wall_start = time.perf_counter()
+    for start in range(0, len(queries), scale.batch_size):
+        chunk = queries[start : start + scale.batch_size]
+        batch_results.extend(searcher.search_many(chunk, scale.k, nprobe=scale.nprobe))
+    batch_wall = time.perf_counter() - wall_start
+    batch_window = index.ssd.stats.since(before)
+
+    mismatches = sum(
+        1
+        for s, b in zip(single_results, batch_results)
+        if not (
+            np.array_equal(s.ids, b.ids) and np.array_equal(s.distances, b.distances)
+        )
+    )
+
+    # Third sweep with the profiler switched on: stage attribution for the
+    # report, and a live check that instrumentation stays cheap.
+    index.profiler.enabled = True
+    index.profiler.reset()
+    wall_start = time.perf_counter()
+    for start in range(0, len(queries), scale.batch_size):
+        chunk = queries[start : start + scale.batch_size]
+        searcher.search_many(chunk, scale.k, nprobe=scale.nprobe)
+    profiled_wall = time.perf_counter() - wall_start
+    index.profiler.enabled = False
+
+    deterministic = {
+        **percentile_metrics([r.latency_us for r in batch_results], "batch_latency_us"),
+        "single_recall_at_k": _round(
+            recall_at_k([r.ids for r in single_results], truth, scale.k), 4
+        ),
+        "batch_recall_at_k": _round(
+            recall_at_k([r.ids for r in batch_results], truth, scale.k), 4
+        ),
+        "batch_single_mismatches": float(mismatches),
+        "batch_postings_probed_mean": _round(
+            np.mean([r.postings_probed for r in batch_results])
+        ),
+        "batch_entries_scanned_mean": _round(
+            np.mean([r.entries_scanned for r in batch_results])
+        ),
+        **batch_window.to_metrics("batch_io"),
+    }
+    wall_clock = {
+        "single_search_qps": _round(
+            len(queries) / single_wall if single_wall > 0 else 0.0
+        ),
+        "batch_search_qps": _round(
+            len(queries) / batch_wall if batch_wall > 0 else 0.0
+        ),
+        "batch_wall_speedup": _round(
+            single_wall / batch_wall if batch_wall > 0 else 0.0
+        ),
+        "profiled_batch_qps": _round(
+            len(queries) / profiled_wall if profiled_wall > 0 else 0.0
+        ),
+    }
+    return ScenarioResult(
+        scenario="throughput",
+        config={**_scenario_config(scale, seed, config), "queries": len(queries)},
+        deterministic=deterministic,
+        wall_clock=wall_clock,
+    )
+
+
 SCENARIOS = {
     "search": scenario_search,
     "update": scenario_update,
     "rebalance": scenario_rebalance,
     "recovery": scenario_recovery,
     "cache": scenario_cache,
+    "throughput": scenario_throughput,
 }
 
 

@@ -54,6 +54,19 @@ class CentroidIndex(abc.ABC):
     def search(self, query: np.ndarray, k: int) -> CentroidSearchResult:
         """Return up to ``k`` nearest centroids, ascending by distance."""
 
+    def search_batch(self, queries: np.ndarray, k: int) -> list[CentroidSearchResult]:
+        """Answer many queries at once; one result per query row.
+
+        Contract: element ``i`` is bit-identical to ``search(queries[i], k)``
+        — batching is a throughput optimization, never a semantic change.
+        The base implementation loops; backends override it with vectorized
+        variants (brute force answers the whole batch with one fused kernel).
+        """
+        queries = np.ascontiguousarray(queries, dtype=np.float32)
+        if queries.ndim == 1:
+            queries = queries.reshape(1, -1)
+        return [self.search(query, k) for query in queries]
+
     @abc.abstractmethod
     def get(self, posting_id: int) -> np.ndarray:
         """Centroid vector for a posting id."""

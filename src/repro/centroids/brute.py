@@ -12,7 +12,13 @@ import threading
 import numpy as np
 
 from repro.centroids.base import CentroidIndex, CentroidSearchResult
-from repro.util.distance import as_vector, sq_l2_batch, top_k_smallest
+from repro.util.distance import (
+    as_matrix,
+    as_vector,
+    pairwise_sq_l2_exact,
+    sq_l2_batch,
+    top_k_smallest,
+)
 from repro.util.errors import IndexError_
 
 _INITIAL_CAPACITY = 64
@@ -61,6 +67,20 @@ class BruteForceCentroidIndex(CentroidIndex):
                 raise IndexError_(f"no centroid for posting {posting_id}")
             self._row_pid[row] = -1
             self._free_rows.append(row)
+            # Shrink the live-row scan window when the top row frees up;
+            # without this, LIRE split/merge churn grows [0, _active)
+            # monotonically and every search scans dead rows forever.
+            if row + 1 == self._active:
+                active = row
+                while active > 0 and self._row_pid[active - 1] < 0:
+                    active -= 1
+                self._active = active
+
+    @property
+    def active_rows(self) -> int:
+        """Width of the row window scanned per search (live rows + holes)."""
+        with self._lock:
+            return self._active
 
     def search(self, query: np.ndarray, k: int) -> CentroidSearchResult:
         query = as_vector(query, self.dim)
@@ -78,6 +98,36 @@ class BruteForceCentroidIndex(CentroidIndex):
                 posting_ids=self._row_pid[rows[top]].copy(),
                 distances=dists[top].copy(),
             )
+
+    def search_batch(self, queries: np.ndarray, k: int) -> list[CentroidSearchResult]:
+        """All queries against the live rows with one fused distance kernel.
+
+        Bit-identical to per-query :meth:`search`: the same row gather, the
+        same per-row distances (``pairwise_sq_l2_exact`` rows match
+        ``sq_l2_batch`` exactly), the same stable top-k tie-break.
+        """
+        queries = as_matrix(queries, self.dim)
+        with self._lock:
+            live = self._row_pid[: self._active] >= 0
+            rows = np.nonzero(live)[0]
+            if len(rows) == 0 or k <= 0:
+                empty = CentroidSearchResult(
+                    posting_ids=np.empty(0, dtype=np.int64),
+                    distances=np.empty(0, dtype=np.float32),
+                )
+                return [empty for _ in range(len(queries))]
+            dists = pairwise_sq_l2_exact(queries, self._matrix[rows])
+            row_pid = self._row_pid[rows]
+            results = []
+            for drow in dists:
+                top = top_k_smallest(drow, k)
+                results.append(
+                    CentroidSearchResult(
+                        posting_ids=row_pid[top].copy(),
+                        distances=drow[top].copy(),
+                    )
+                )
+            return results
 
     def get(self, posting_id: int) -> np.ndarray:
         with self._lock:

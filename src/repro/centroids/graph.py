@@ -7,6 +7,12 @@ follows the flat-NSW recipe: greedy best-first search from an entry point,
 connect each new node to its ``m`` nearest discovered neighbors with
 bidirectional edges, prune degrees, and patch the neighborhood when a node
 is deleted by cross-linking its former neighbors.
+
+Storage is vectorized for the hot path: centroids live in one contiguous
+grow-only float32 matrix with free-slot recycling (mirroring the brute
+backend), adjacency is a packed int32 row array per node, and beam search
+expands a node's whole unvisited neighbor list with a single
+``sq_l2_batch`` call instead of one scalar distance per edge.
 """
 
 from __future__ import annotations
@@ -17,8 +23,11 @@ import threading
 import numpy as np
 
 from repro.centroids.base import CentroidIndex, CentroidSearchResult
-from repro.util.distance import as_vector, sq_l2
+from repro.util.distance import as_matrix, as_vector, sq_l2_batch
 from repro.util.errors import IndexError_
+
+_INITIAL_CAPACITY = 64
+_NO_NEIGHBORS = np.empty(0, dtype=np.int32)
 
 
 class GraphCentroidIndex(CentroidIndex):
@@ -42,135 +51,209 @@ class GraphCentroidIndex(CentroidIndex):
         self.ef_construction = ef_construction
         self.ef_search = ef_search
         self._lock = threading.RLock()
-        self._vectors: dict[int, np.ndarray] = {}
-        self._neighbors: dict[int, set[int]] = {}
-        self._entry_point: int | None = None
+        self._matrix = np.zeros((_INITIAL_CAPACITY, dim), dtype=np.float32)
+        self._row_pid = np.full(_INITIAL_CAPACITY, -1, dtype=np.int64)
+        self._pid_row: dict[int, int] = {}
+        self._free_rows: list[int] = list(range(_INITIAL_CAPACITY - 1, -1, -1))
+        # Packed adjacency: per-row int32 array of neighbor rows. Arrays are
+        # rebuilt on mutation (degree is O(m)) so searches can gather them
+        # straight into the matrix without touching Python sets.
+        self._adjacency: list[np.ndarray] = [_NO_NEIGHBORS] * _INITIAL_CAPACITY
+        self._entry_row: int | None = None
+
+    # ------------------------------------------------------------------
+    # row storage
+    # ------------------------------------------------------------------
+    def _grow(self) -> None:
+        old_cap = len(self._matrix)
+        new_cap = old_cap * 2
+        matrix = np.zeros((new_cap, self.dim), dtype=np.float32)
+        matrix[:old_cap] = self._matrix
+        row_pid = np.full(new_cap, -1, dtype=np.int64)
+        row_pid[:old_cap] = self._row_pid
+        self._matrix = matrix
+        self._row_pid = row_pid
+        self._adjacency.extend([_NO_NEIGHBORS] * (new_cap - old_cap))
+        self._free_rows.extend(range(new_cap - 1, old_cap - 1, -1))
+
+    def _link(self, row: int, other: int) -> None:
+        nbrs = self._adjacency[row]
+        if other in nbrs:
+            return
+        self._adjacency[row] = np.append(nbrs, np.int32(other))
+
+    def _unlink(self, row: int, other: int) -> None:
+        nbrs = self._adjacency[row]
+        self._adjacency[row] = nbrs[nbrs != other]
 
     # ------------------------------------------------------------------
     # internal search
     # ------------------------------------------------------------------
     def _beam_search(self, query: np.ndarray, ef: int) -> list[tuple[float, int]]:
-        """Best-first search; returns (distance, node) pairs, ascending."""
-        entry = self._entry_point
+        """Best-first search; returns (distance, row) pairs, ascending.
+
+        The frontier is vectorized: all unvisited neighbors of the popped
+        node are distance-scored with one ``sq_l2_batch`` gather instead of
+        a scalar kernel call per edge.
+        """
+        entry = self._entry_row
         if entry is None:
             return []
-        visited = {entry}
-        d0 = sq_l2(query, self._vectors[entry])
+        visited = np.zeros(len(self._matrix), dtype=bool)
+        visited[entry] = True
+        d0 = float(sq_l2_batch(query, self._matrix[entry : entry + 1])[0])
         # candidates: min-heap by distance; results: max-heap (negated).
         candidates: list[tuple[float, int]] = [(d0, entry)]
         results: list[tuple[float, int]] = [(-d0, entry)]
         while candidates:
-            dist, node = heapq.heappop(candidates)
+            dist, row = heapq.heappop(candidates)
             if len(results) >= ef and dist > -results[0][0]:
                 break
-            for nbr in self._neighbors[node]:
-                if nbr in visited:
-                    continue
-                visited.add(nbr)
-                d = sq_l2(query, self._vectors[nbr])
+            nbrs = self._adjacency[row]
+            if len(nbrs) == 0:
+                continue
+            fresh = nbrs[~visited[nbrs]]
+            if len(fresh) == 0:
+                continue
+            visited[fresh] = True
+            dists = sq_l2_batch(query, self._matrix[fresh])
+            for d, nbr in zip(dists.tolist(), fresh.tolist()):
                 if len(results) < ef or d < -results[0][0]:
                     heapq.heappush(candidates, (d, nbr))
                     heapq.heappush(results, (-d, nbr))
                     if len(results) > ef:
                         heapq.heappop(results)
-        ordered = sorted((-negd, node) for negd, node in results)
-        return ordered
+        return sorted((-negd, row) for negd, row in results)
 
-    def _prune_degree(self, node: int) -> None:
-        """Keep only the ``m`` closest neighbors of ``node``."""
-        nbrs = self._neighbors[node]
+    def _prune_degree(self, row: int) -> None:
+        """Keep only the ``m`` closest neighbors of ``row``."""
+        nbrs = self._adjacency[row]
         limit = self.m * 2  # allow slack; hard-prune beyond 2m
         if len(nbrs) <= limit:
             return
-        vec = self._vectors[node]
-        ranked = sorted(nbrs, key=lambda other: sq_l2(vec, self._vectors[other]))
-        keep = set(ranked[: self.m])
-        for dropped in nbrs - keep:
-            self._neighbors[dropped].discard(node)
-        self._neighbors[node] = keep
+        dists = sq_l2_batch(self._matrix[row], self._matrix[nbrs])
+        keep = nbrs[np.argsort(dists, kind="stable")[: self.m]]
+        for dropped in np.setdiff1d(nbrs, keep).tolist():
+            self._unlink(dropped, row)
+        self._adjacency[row] = keep
 
     # ------------------------------------------------------------------
     # CentroidIndex API
     # ------------------------------------------------------------------
     def add(self, posting_id: int, centroid: np.ndarray) -> None:
-        centroid = as_vector(centroid, self.dim).copy()
+        centroid = as_vector(centroid, self.dim)
         with self._lock:
-            if posting_id in self._vectors:
+            if posting_id in self._pid_row:
                 raise IndexError_(f"centroid for posting {posting_id} exists")
             nearest = self._beam_search(centroid, self.ef_construction)
-            self._vectors[posting_id] = centroid
-            links = {node for _, node in nearest[: self.m]}
-            self._neighbors[posting_id] = set(links)
+            if not self._free_rows:
+                self._grow()
+            row = self._free_rows.pop()
+            self._matrix[row] = centroid
+            self._row_pid[row] = posting_id
+            self._pid_row[posting_id] = row
+            links = [other for _, other in nearest[: self.m]]
+            self._adjacency[row] = np.asarray(links, dtype=np.int32)
             for nbr in links:
-                self._neighbors[nbr].add(posting_id)
+                self._link(nbr, row)
                 self._prune_degree(nbr)
-            if self._entry_point is None:
-                self._entry_point = posting_id
+            if self._entry_row is None:
+                self._entry_row = row
 
     def remove(self, posting_id: int) -> None:
         with self._lock:
-            if posting_id not in self._vectors:
+            row = self._pid_row.pop(posting_id, None)
+            if row is None:
                 raise IndexError_(f"no centroid for posting {posting_id}")
-            nbrs = self._neighbors.pop(posting_id)
-            del self._vectors[posting_id]
-            for nbr in nbrs:
-                self._neighbors[nbr].discard(posting_id)
+            nbr_list = self._adjacency[row].tolist()
+            self._adjacency[row] = _NO_NEIGHBORS
+            self._row_pid[row] = -1
+            for nbr in nbr_list:
+                self._unlink(nbr, row)
             # Patch the hole: cross-link former neighbors so the graph stays
             # connected (the standard cheap delete repair).
-            nbr_list = list(nbrs)
             for i, a in enumerate(nbr_list):
                 for b in nbr_list[i + 1 :]:
-                    if len(self._neighbors[a]) < self.m or len(
-                        self._neighbors[b]
-                    ) < self.m:
-                        self._neighbors[a].add(b)
-                        self._neighbors[b].add(a)
+                    if (
+                        len(self._adjacency[a]) < self.m
+                        or len(self._adjacency[b]) < self.m
+                    ):
+                        self._link(a, b)
+                        self._link(b, a)
             for nbr in nbr_list:
                 self._prune_degree(nbr)
-            if self._entry_point == posting_id:
-                self._entry_point = next(iter(self._vectors), None)
+            self._free_rows.append(row)
+            if self._entry_row == row:
+                next_pid = next(iter(self._pid_row), None)
+                self._entry_row = (
+                    self._pid_row[next_pid] if next_pid is not None else None
+                )
 
     def search(self, query: np.ndarray, k: int) -> CentroidSearchResult:
         query = as_vector(query, self.dim)
         with self._lock:
-            if k <= 0 or not self._vectors:
-                return CentroidSearchResult(
-                    posting_ids=np.empty(0, dtype=np.int64),
-                    distances=np.empty(0, dtype=np.float32),
-                )
-            ef = max(self.ef_search, k)
-            ordered = self._beam_search(query, ef)[:k]
+            return self._search_locked(query, k)
+
+    def _search_locked(self, query: np.ndarray, k: int) -> CentroidSearchResult:
+        if k <= 0 or not self._pid_row:
             return CentroidSearchResult(
-                posting_ids=np.array([node for _, node in ordered], dtype=np.int64),
-                distances=np.array([d for d, _ in ordered], dtype=np.float32),
+                posting_ids=np.empty(0, dtype=np.int64),
+                distances=np.empty(0, dtype=np.float32),
             )
+        ef = max(self.ef_search, k)
+        ordered = self._beam_search(query, ef)[:k]
+        return CentroidSearchResult(
+            posting_ids=np.array(
+                [self._row_pid[row] for _, row in ordered], dtype=np.int64
+            ),
+            distances=np.array([d for d, _ in ordered], dtype=np.float32),
+        )
+
+    def search_batch(self, queries: np.ndarray, k: int) -> list[CentroidSearchResult]:
+        """Per-query beam search under one lock acquisition.
+
+        The graph cannot fuse queries into one kernel (each walks its own
+        frontier), but every expansion already runs vectorized; results are
+        bit-identical to per-query :meth:`search` by construction.
+        """
+        queries = as_matrix(queries, self.dim)
+        with self._lock:
+            return [self._search_locked(query, k) for query in queries]
 
     def get(self, posting_id: int) -> np.ndarray:
         with self._lock:
-            vec = self._vectors.get(posting_id)
-            if vec is None:
+            row = self._pid_row.get(posting_id)
+            if row is None:
                 raise IndexError_(f"no centroid for posting {posting_id}")
-            return vec.copy()
+            return self._matrix[row].copy()
 
     def __contains__(self, posting_id: int) -> bool:
         with self._lock:
-            return posting_id in self._vectors
+            return posting_id in self._pid_row
 
     def __len__(self) -> int:
         with self._lock:
-            return len(self._vectors)
+            return len(self._pid_row)
 
     def items(self) -> list[tuple[int, np.ndarray]]:
         with self._lock:
-            return [(pid, vec.copy()) for pid, vec in self._vectors.items()]
+            return [
+                (pid, self._matrix[row].copy())
+                for pid, row in self._pid_row.items()
+            ]
 
     def memory_bytes(self) -> int:
         with self._lock:
-            vec_bytes = len(self._vectors) * self.dim * 4
-            edge_bytes = sum(len(n) for n in self._neighbors.values()) * 8
+            vec_bytes = len(self._pid_row) * self.dim * 4
+            edge_bytes = sum(
+                int(self._adjacency[row].nbytes)
+                for row in self._pid_row.values()
+            )
             return vec_bytes + edge_bytes
 
     def edge_count(self) -> int:
         """Total directed edges (diagnostics for graph-quality tests)."""
         with self._lock:
-            return sum(len(n) for n in self._neighbors.values())
+            return sum(
+                len(self._adjacency[row]) for row in self._pid_row.values()
+            )

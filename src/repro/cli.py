@@ -6,6 +6,7 @@ Usage::
     python -m repro simulate --days 10       # Figure-7-style day series
     python -m repro compare --days 7         # SPFresh vs SPANN+ vs DiskANN
     python -m repro sweep-nprobe             # recall/latency trade-off
+    python -m repro profile                  # wall-clock stage profile
     python -m repro perf --quick             # BENCH_*.json perf harness
 
 Every subcommand prints the same ASCII tables the benches emit, so the
@@ -183,6 +184,43 @@ def cmd_perf(args) -> int:
     return perf_main(args.perf_args)
 
 
+def cmd_profile(args) -> int:
+    """Build an index, drive a mixed workload, print the wall-clock profile.
+
+    Exercises the whole engine — batched + single search, inserts, deletes
+    and the rebuild jobs they trigger — with the profiler enabled, then
+    renders the per-stage table (``--json`` for machine-readable output).
+    """
+    import json
+
+    dataset = _dataset(args)
+    rng = np.random.default_rng(args.seed)
+    index = SPFreshIndex.build(
+        dataset.base,
+        config=SPFreshConfig(dim=args.dim, seed=args.seed, enable_profiling=True),
+    )
+    queries = (
+        dataset.base[rng.integers(0, args.base, size=args.queries)]
+        + rng.normal(scale=0.05, size=(args.queries, args.dim)).astype(np.float32)
+    ).astype(np.float32)
+    for start in range(0, len(queries), 32):
+        index.search_batch(queries[start : start + 32], 10)
+    for query in queries:
+        index.search(query, 10)
+    churn = max(1, args.base // 20)
+    new_vectors = dataset.base[rng.integers(0, args.base, size=churn)] + 0.01
+    for i, vector in enumerate(new_vectors):
+        index.insert(args.base + i, vector)
+    for vid in rng.choice(args.base, size=churn // 2, replace=False):
+        index.delete(int(vid))
+    index.drain()
+    if args.json:
+        print(json.dumps(index.profile_snapshot(), indent=2))
+    else:
+        print(index.profile_report(title="wall-clock profile (mixed workload)"))
+    return 0
+
+
 def cmd_sweep_nprobe(args) -> int:
     """Trace the recall/latency trade-off across nprobe settings."""
     from repro.bench.reporting import format_table
@@ -233,6 +271,15 @@ def build_parser() -> argparse.ArgumentParser:
     sweep = sub.add_parser("sweep-nprobe", help="recall/latency curve")
     _add_common(sweep)
     sweep.set_defaults(func=cmd_sweep_nprobe)
+
+    profile = sub.add_parser(
+        "profile", help="wall-clock stage profile of a mixed workload"
+    )
+    _add_common(profile)
+    profile.add_argument(
+        "--json", action="store_true", help="emit the snapshot as JSON"
+    )
+    profile.set_defaults(func=cmd_profile)
 
     perf = sub.add_parser(
         "perf",

@@ -77,6 +77,9 @@ class SPFreshConfig:
     synchronous_rebuild: bool = True  # run LIRE jobs inline (deterministic)
 
     # --- misc ---
+    # Wall-clock profiler (repro.metrics.profiling). Off by default: the
+    # disabled cost is one attribute check per instrumented section.
+    enable_profiling: bool = False
     centroid_index_kind: str = "brute"  # or "graph" / "bkt" (SPTAG stand-ins)
     seed: int = 0
     wal_path: str | None = None

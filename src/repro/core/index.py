@@ -28,6 +28,7 @@ from repro.core.rebuilder import LocalRebuilder
 from repro.core.stats import LireStats
 from repro.core.updater import Updater
 from repro.core.version_map import VersionMap
+from repro.metrics.profiling import Profiler, format_report
 from repro.spann.build import build_plan
 from repro.spann.searcher import SearchResult, SpannSearcher
 from repro.storage.controller import BlockController
@@ -66,6 +67,10 @@ class SPFreshIndex:
         self.stats = LireStats()
         self.locks = PostingLockManager(stats=self.stats)
         self.job_queue = JobQueue()
+        # One profiler instance spans the whole engine so a snapshot shows
+        # where wall-clock time went across search, storage and rebuilds.
+        self.profiler = Profiler(enabled=config.enable_profiling)
+        controller.profiler = self.profiler
         self.updater = Updater(
             centroid_index,
             controller,
@@ -76,6 +81,7 @@ class SPFreshIndex:
             config,
             posting_ids,
             wal=wal,
+            profiler=self.profiler,
         )
         self.rebuilder = LocalRebuilder(
             centroid_index,
@@ -87,6 +93,7 @@ class SPFreshIndex:
             config,
             posting_ids,
             rng=np.random.default_rng(config.seed + 1),
+            profiler=self.profiler,
         )
         self.searcher = SpannSearcher(
             centroid_index,
@@ -98,6 +105,7 @@ class SPFreshIndex:
             cpu_cost_per_query_us=config.cpu_cost_per_query_us,
             min_posting_size=config.min_posting_size,
             prune_epsilon=config.search_prune_epsilon,
+            profiler=self.profiler,
         )
         self._background_running = False
         # Populated by restore_index() after a crash recovery; None for a
@@ -282,6 +290,14 @@ class SPFreshIndex:
     # ------------------------------------------------------------------
     # maintenance / introspection
     # ------------------------------------------------------------------
+    def profile_snapshot(self) -> dict[str, dict]:
+        """Wall-clock profile per stage (empty unless ``enable_profiling``)."""
+        return self.profiler.snapshot()
+
+    def profile_report(self, title: str = "wall-clock profile") -> str:
+        """Human-readable table of :meth:`profile_snapshot`."""
+        return format_report(self.profile_snapshot(), title)
+
     def check_invariants(self, **kwargs):
         """Audit the index against the LIRE end-state invariants.
 

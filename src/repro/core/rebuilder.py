@@ -37,6 +37,7 @@ from repro.core.jobs import (
 )
 from repro.core.stats import LireStats
 from repro.core.version_map import VersionMap
+from repro.metrics.profiling import NULL_PROFILER, Profiler
 from repro.spann.closure import select_replicas
 from repro.spann.postings import live_view
 from repro.storage.controller import BlockController
@@ -58,7 +59,9 @@ class LocalRebuilder:
         config: SPFreshConfig,
         posting_ids: IdAllocator,
         rng: np.random.Generator | None = None,
+        profiler: Profiler | None = None,
     ) -> None:
+        self.profiler = profiler or NULL_PROFILER
         self.centroid_index = centroid_index
         self.controller = controller
         self.version_map = version_map
@@ -83,20 +86,21 @@ class LocalRebuilder:
     # job dispatch
     # ------------------------------------------------------------------
     def process(self, job: object) -> None:
-        before = self.background_io_us
-        if isinstance(job, SplitJob):
-            self._current_job_kind = "split"
-            self._run_split(job)
-        elif isinstance(job, MergeJob):
-            self._current_job_kind = "merge"
-            self._run_merge(job)
-        elif isinstance(job, ReassignJob):
-            self._current_job_kind = "reassign"
-            self._run_reassign(job)
-        else:
-            raise IndexError_(f"unknown rebuild job type: {type(job).__name__}")
-        self.io_by_job[self._current_job_kind] += self.background_io_us - before
-        self._current_job_kind = "other"
+        with self.profiler.section("maintenance"):
+            before = self.background_io_us
+            if isinstance(job, SplitJob):
+                self._current_job_kind = "split"
+                self._run_split(job)
+            elif isinstance(job, MergeJob):
+                self._current_job_kind = "merge"
+                self._run_merge(job)
+            elif isinstance(job, ReassignJob):
+                self._current_job_kind = "reassign"
+                self._run_reassign(job)
+            else:
+                raise IndexError_(f"unknown rebuild job type: {type(job).__name__}")
+            self.io_by_job[self._current_job_kind] += self.background_io_us - before
+            self._current_job_kind = "other"
 
     def drain(self, max_jobs: int | None = None) -> int:
         """Synchronously run queued jobs (and their cascades) to exhaustion.

@@ -17,6 +17,7 @@ from repro.core.ids import IdAllocator
 from repro.core.jobs import JobQueue, PostingLockManager, SplitJob
 from repro.core.stats import LireStats
 from repro.core.version_map import VersionMap
+from repro.metrics.profiling import NULL_PROFILER, Profiler
 from repro.spann.closure import select_replicas
 from repro.storage.controller import BlockController
 from repro.storage.layout import PostingData
@@ -39,6 +40,7 @@ class Updater:
         config: SPFreshConfig,
         posting_ids: IdAllocator,
         wal: WriteAheadLog | None = None,
+        profiler: Profiler | None = None,
     ) -> None:
         self.centroid_index = centroid_index
         self.controller = controller
@@ -49,6 +51,7 @@ class Updater:
         self.config = config
         self.posting_ids = posting_ids
         self.wal = wal
+        self.profiler = profiler or NULL_PROFILER
 
     # ------------------------------------------------------------------
     def insert(self, vector_id: int, vector: np.ndarray, log: bool = True) -> float:
@@ -58,30 +61,31 @@ class Updater:
         replicas when ``insert_replicas > 1``). A posting deleted by a
         concurrent split triggers a re-route rather than a failure.
         """
-        vector = as_vector(vector, self.config.dim)
-        if log and self.wal is not None:
-            self.wal.log_insert(vector_id, vector)
-        version = self.version_map.register(vector_id)
-        latency = self.config.cpu_cost_per_query_us  # centroid navigation
-        entry = PostingData.from_rows([vector_id], [version], vector)
+        with self.profiler.section("update"):
+            vector = as_vector(vector, self.config.dim)
+            if log and self.wal is not None:
+                self.wal.log_insert(vector_id, vector)
+            version = self.version_map.register(vector_id)
+            latency = self.config.cpu_cost_per_query_us  # centroid navigation
+            entry = PostingData.from_rows([vector_id], [version], vector)
 
-        for _ in range(1 + self.config.max_reassign_retries):
-            targets = self._route(vector)
-            if not targets:
-                latency += self._bootstrap_posting(vector, entry)
-                self.stats.incr("inserts")
-                return latency
-            placed = 0
-            for pid in targets:
-                try:
-                    latency += self._append_to(pid, entry)
-                    placed += 1
-                except StalePostingError:
-                    self.stats.incr("reassign_posting_missing")
-            if placed:
-                self.stats.incr("inserts")
-                self.stats.incr("appends", placed)
-                return latency
+            for _ in range(1 + self.config.max_reassign_retries):
+                targets = self._route(vector)
+                if not targets:
+                    latency += self._bootstrap_posting(vector, entry)
+                    self.stats.incr("inserts")
+                    return latency
+                placed = 0
+                for pid in targets:
+                    try:
+                        latency += self._append_to(pid, entry)
+                        placed += 1
+                    except StalePostingError:
+                        self.stats.incr("reassign_posting_missing")
+                if placed:
+                    self.stats.incr("inserts")
+                    self.stats.incr("appends", placed)
+                    return latency
         # The vector was registered but never landed on disk. Tombstone it
         # before failing so the version map does not advertise a live id
         # with zero replicas (a conservation violation every audit and
@@ -93,12 +97,13 @@ class Updater:
 
     def delete(self, vector_id: int, log: bool = True) -> float:
         """Tombstone a vector; actual removal happens lazily during GC."""
-        if log and self.wal is not None:
-            self.wal.log_delete(vector_id)
-        if self.version_map.delete(vector_id):
-            self.stats.incr("deletes")
-        # Tombstones touch only the in-memory map: negligible latency.
-        return 1.0
+        with self.profiler.section("update"):
+            if log and self.wal is not None:
+                self.wal.log_delete(vector_id)
+            if self.version_map.delete(vector_id):
+                self.stats.incr("deletes")
+            # Tombstones touch only the in-memory map: negligible latency.
+            return 1.0
 
     # ------------------------------------------------------------------
     def _route(self, vector: np.ndarray) -> list[int]:

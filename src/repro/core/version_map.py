@@ -147,13 +147,16 @@ class VersionMap:
         ids = np.asarray(ids, dtype=np.int64)
         versions = np.asarray(versions, dtype=np.uint8)
         with self._lock:
-            in_range = (ids >= 0) & (ids < len(self._bytes))
+            in_range = ids >= 0
+            in_range &= ids < len(self._bytes)
             current = np.full(len(ids), int(_UNREGISTERED), dtype=np.uint8)
             current[in_range] = self._bytes[ids[in_range]]
-            known = current != _UNREGISTERED
-            undeleted = (current & DELETED_BIT) == 0
-            fresh = (current & VERSION_MASK) == (versions & VERSION_MASK)
-            return known & undeleted & fresh
+            # Reuse one mask buffer with in-place ANDs: this runs once per
+            # probed posting, so the saved temporaries add up at scan time.
+            live = current != _UNREGISTERED
+            live &= (current & DELETED_BIT) == 0
+            live &= (current & VERSION_MASK) == (versions & VERSION_MASK)
+            return live
 
     def live_ids(self) -> np.ndarray:
         """All registered, undeleted vector ids (ascending).

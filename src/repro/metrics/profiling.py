@@ -1,0 +1,165 @@
+"""Scoped wall-clock profiler for the real (not simulated) hot path.
+
+The repo runs two clocks. The *simulated* clock — device waves, modelled
+CPU cost — is deterministic and gated by the perf harness. The *wall*
+clock is how fast this Python process actually executes; it is machine-
+dependent, informational, and exactly what the vectorized-engine work
+optimizes. This module measures the second clock with near-zero overhead:
+
+* ``Profiler.section("scan")`` is a context manager around a code region;
+  enabled profilers aggregate ``perf_counter_ns`` deltas per stage
+  (calls, total, max), disabled ones return a shared no-op context whose
+  enter/exit do nothing — the disabled cost is one attribute check per
+  section, far below the 5% overhead budget.
+* Stages are free-form strings; the engine uses ``navigate`` (centroid
+  index), ``io`` (device reads/writes), ``decode`` (posting codec),
+  ``scan`` (distance kernels), ``topk`` (dedup + selection), ``update``
+  (foreground updater) and ``maintenance`` (LIRE rebuild jobs).
+* ``snapshot()`` returns plain dicts for JSON emission; ``format_report``
+  renders the human table the ``python -m repro profile`` subcommand and
+  the CI artifact use.
+
+Thread-safety: counters are guarded by a lock taken only on section *exit*
+of an enabled profiler; the disabled path is lock-free.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+
+
+@dataclass
+class StageStats:
+    """Aggregated wall-clock time of one stage."""
+
+    calls: int = 0
+    total_ns: int = 0
+    max_ns: int = 0
+
+    @property
+    def total_us(self) -> float:
+        return self.total_ns / 1_000.0
+
+    @property
+    def mean_us(self) -> float:
+        return self.total_ns / self.calls / 1_000.0 if self.calls else 0.0
+
+    @property
+    def max_us(self) -> float:
+        return self.max_ns / 1_000.0
+
+    def to_dict(self) -> dict:
+        return {
+            "calls": self.calls,
+            "total_us": round(self.total_us, 3),
+            "mean_us": round(self.mean_us, 3),
+            "max_us": round(self.max_us, 3),
+        }
+
+
+class _NullSection:
+    """Shared no-op context manager: the disabled profiler's entire cost."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSection":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        return None
+
+
+_NULL_SECTION = _NullSection()
+
+
+class _Section:
+    """Timed scope; records into its profiler on exit."""
+
+    __slots__ = ("_profiler", "_stage", "_start")
+
+    def __init__(self, profiler: "Profiler", stage: str) -> None:
+        self._profiler = profiler
+        self._stage = stage
+
+    def __enter__(self) -> "_Section":
+        self._start = time.perf_counter_ns()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._profiler.record(self._stage, time.perf_counter_ns() - self._start)
+
+
+class Profiler:
+    """Per-stage wall-clock aggregator, disabled by default.
+
+    One profiler instance is shared by every component of an index
+    (searcher, block controller, updater, rebuilder), so a snapshot shows
+    where real time went across the whole engine.
+    """
+
+    def __init__(self, enabled: bool = False) -> None:
+        self.enabled = enabled
+        self._lock = threading.Lock()
+        self._stages: dict[str, StageStats] = {}
+
+    def section(self, stage: str):
+        """Context manager timing a region under ``stage`` (no-op if disabled)."""
+        if not self.enabled:
+            return _NULL_SECTION
+        return _Section(self, stage)
+
+    def record(self, stage: str, elapsed_ns: int) -> None:
+        """Fold one measured duration into a stage's aggregate."""
+        if not self.enabled:
+            return
+        with self._lock:
+            stats = self._stages.get(stage)
+            if stats is None:
+                stats = self._stages[stage] = StageStats()
+            stats.calls += 1
+            stats.total_ns += elapsed_ns
+            if elapsed_ns > stats.max_ns:
+                stats.max_ns = elapsed_ns
+
+    def reset(self) -> None:
+        with self._lock:
+            self._stages.clear()
+
+    def snapshot(self) -> dict[str, dict]:
+        """Stage name → aggregate dict, sorted by descending total time."""
+        with self._lock:
+            items = sorted(
+                self._stages.items(), key=lambda kv: -kv[1].total_ns
+            )
+            return {stage: stats.to_dict() for stage, stats in items}
+
+    @property
+    def total_us(self) -> float:
+        with self._lock:
+            return sum(s.total_us for s in self._stages.values())
+
+
+NULL_PROFILER = Profiler(enabled=False)
+
+
+def format_report(snapshot: dict[str, dict], title: str = "wall-clock profile") -> str:
+    """Render a snapshot as the ASCII table the CLI and CI artifact print."""
+    if not snapshot:
+        return f"{title}: no sections recorded (profiler disabled or idle)"
+    total = sum(s["total_us"] for s in snapshot.values()) or 1.0
+    lines = [
+        title,
+        f"| {'stage':<12} | {'calls':>9} | {'total ms':>10} | "
+        f"{'mean us':>9} | {'max us':>9} | {'share':>6} |",
+        "|" + "-" * 14 + "|" + "-" * 11 + "|" + "-" * 12 + "|"
+        + "-" * 11 + "|" + "-" * 11 + "|" + "-" * 8 + "|",
+    ]
+    for stage, stats in snapshot.items():
+        lines.append(
+            f"| {stage:<12} | {stats['calls']:>9} | "
+            f"{stats['total_us'] / 1000.0:>10.2f} | {stats['mean_us']:>9.1f} | "
+            f"{stats['max_us']:>9.1f} | {stats['total_us'] / total:>6.1%} |"
+        )
+    return "\n".join(lines)

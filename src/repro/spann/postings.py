@@ -23,16 +23,33 @@ def live_view(data: PostingData, version_map=None) -> PostingData:
 
 
 def dedup_top_k(
-    ids: np.ndarray, distances: np.ndarray, k: int
+    ids: np.ndarray, distances: np.ndarray, k: int, max_dup: int | None = None
 ) -> tuple[np.ndarray, np.ndarray]:
     """Top-k by ascending distance with replica de-duplication.
 
     Boundary replication stores a vector in several postings, so a probe
     can surface the same id multiple times; only the closest instance (they
     are identical vectors, so equal distances) must be kept.
+
+    ``max_dup`` is an optional upper bound on how many times one id can
+    occur (the searcher passes the number of postings probed — a live id
+    appears at most once per posting). When set, candidates strictly worse
+    than the ``k * max_dup``-th smallest distance are dropped with a cheap
+    partition before the full sort: the top ``k * max_dup`` candidates span
+    at least ``k`` distinct ids, every id in the true answer keeps its best
+    occurrence (ties at the cutoff are retained), and the survivors keep
+    their original order — so the result is identical to ``max_dup=None``.
     """
     if len(ids) == 0 or k <= 0:
         return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float32)
+    if max_dup is not None and max_dup > 0:
+        cap = k * max_dup
+        if cap < len(ids):
+            kth = np.partition(distances, cap - 1)[cap - 1]
+            if np.isfinite(kth):
+                keep = distances <= kth
+                ids = ids[keep]
+                distances = distances[keep]
     order = np.argsort(distances, kind="stable")
     ids_sorted = ids[order]
     dists_sorted = distances[order]

@@ -20,10 +20,11 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.centroids.base import CentroidIndex
+from repro.centroids.base import CentroidIndex, CentroidSearchResult
+from repro.metrics.profiling import NULL_PROFILER, Profiler
 from repro.spann.postings import dedup_top_k, live_view
 from repro.storage.controller import BlockController
-from repro.util.distance import as_vector, sq_l2_batch
+from repro.util.distance import as_matrix, as_vector, pairwise_sq_l2_exact, sq_l2_batch
 from repro.util.errors import StalePostingError
 
 
@@ -59,10 +60,12 @@ class SpannSearcher:
         cpu_cost_per_query_us: float = 30.0,
         min_posting_size: int = 0,
         prune_epsilon: float | None = None,
+        profiler: Profiler | None = None,
     ) -> None:
         self.centroid_index = centroid_index
         self.controller = controller
         self.version_map = version_map
+        self.profiler = profiler or NULL_PROFILER
         self.default_nprobe = default_nprobe
         self.latency_budget_us = latency_budget_us
         self.cpu_cost_per_entry_us = cpu_cost_per_entry_us
@@ -107,25 +110,28 @@ class SpannSearcher:
             cum_entries += length
         return kept, False
 
+    def _prune(self, hits: CentroidSearchResult) -> list[int]:
+        """Candidate posting ids after SPANN's query-aware dynamic pruning."""
+        if self.prune_epsilon is not None and len(hits) > 1:
+            limit = (1.0 + self.prune_epsilon) ** 2 * float(hits.distances[0])
+            return [
+                pid
+                for pid, dist in zip(
+                    hits.posting_ids.tolist(), hits.distances.tolist()
+                )
+                if dist <= limit
+            ]
+        return hits.posting_ids.tolist()
+
     def search(
         self, query: np.ndarray, k: int, nprobe: int | None = None
     ) -> SearchResult:
         """Return the approximate ``k`` nearest live vectors to ``query``."""
         query = as_vector(query, self.centroid_index.dim)
         nprobe = nprobe or self.default_nprobe
-        centroid_hits = self.centroid_index.search(query, nprobe)
-        candidate_pids = [int(pid) for pid in centroid_hits.posting_ids]
-        if self.prune_epsilon is not None and len(centroid_hits) > 1:
-            limit = (1.0 + self.prune_epsilon) ** 2 * float(
-                centroid_hits.distances[0]
-            )
-            candidate_pids = [
-                int(pid)
-                for pid, dist in zip(
-                    centroid_hits.posting_ids, centroid_hits.distances
-                )
-                if float(dist) <= limit
-            ]
+        with self.profiler.section("navigate"):
+            centroid_hits = self.centroid_index.search(query, nprobe)
+        candidate_pids = self._prune(centroid_hits)
         probe_pids, truncated = self._budget_prefix(candidate_pids)
         postings, io_latency = self.controller.parallel_get(probe_pids)
 
@@ -133,26 +139,28 @@ class SpannSearcher:
         all_dists: list[np.ndarray] = []
         entries_scanned = 0
         undersized: list[int] = []
-        for pid in probe_pids:
-            data = postings.get(pid)
-            if data is None:
-                continue  # deleted concurrently; its vectors live elsewhere
-            live = live_view(data, self.version_map)
-            entries_scanned += len(data)
-            if self.min_posting_size and len(live) < self.min_posting_size:
-                undersized.append(pid)
-            if len(live) == 0:
-                continue
-            all_ids.append(live.ids)
-            all_dists.append(sq_l2_batch(query, live.vectors))
+        with self.profiler.section("scan"):
+            for pid in probe_pids:
+                data = postings.get(pid)
+                if data is None:
+                    continue  # deleted concurrently; its vectors live elsewhere
+                live = live_view(data, self.version_map)
+                entries_scanned += len(data)
+                if self.min_posting_size and len(live) < self.min_posting_size:
+                    undersized.append(pid)
+                if len(live) == 0:
+                    continue
+                all_ids.append(live.ids)
+                all_dists.append(sq_l2_batch(query, live.vectors))
 
-        if all_ids:
-            ids = np.concatenate(all_ids)
-            dists = np.concatenate(all_dists)
-            top_ids, top_dists = dedup_top_k(ids, dists, k)
-        else:
-            top_ids = np.empty(0, dtype=np.int64)
-            top_dists = np.empty(0, dtype=np.float32)
+        with self.profiler.section("topk"):
+            if all_ids:
+                ids = np.concatenate(all_ids)
+                dists = np.concatenate(all_dists)
+                top_ids, top_dists = dedup_top_k(ids, dists, k, max_dup=len(all_ids))
+            else:
+                top_ids = np.empty(0, dtype=np.int64)
+                top_dists = np.empty(0, dtype=np.float32)
 
         cpu_latency = (
             self.cpu_cost_per_query_us + self.cpu_cost_per_entry_us * entries_scanned
@@ -175,6 +183,39 @@ class SpannSearcher:
             undersized_postings=undersized,
         )
 
+    def _live_views(self, postings: list[tuple[int, object]]) -> dict[int, object]:
+        """Per-posting live views with ONE version-map round trip.
+
+        Equivalent to ``live_view`` per posting — ``live_mask`` is
+        elementwise, so one call over the concatenated id/version columns
+        slices back into bit-identical per-posting masks — but the map's
+        lock and the mask arithmetic are paid once per batch instead of
+        once per posting.
+        """
+        if self.version_map is None:
+            return {pid: data for pid, data in postings}
+        scored = [(pid, data) for pid, data in postings if len(data) > 0]
+        out: dict[int, object] = {
+            pid: data for pid, data in postings if len(data) == 0
+        }
+        if not scored:
+            return out
+        mask = self.version_map.live_mask(
+            np.concatenate([data.ids for _, data in scored]),
+            np.concatenate([data.versions for _, data in scored]),
+        )
+        if mask.all():
+            # Common steady state (no pending tombstones/stale replicas):
+            # every posting is fully live, skip the per-posting slicing.
+            out.update(scored)
+            return out
+        start = 0
+        for pid, data in scored:
+            part = mask[start : start + len(data)]
+            start += len(data)
+            out[pid] = data if part.all() else data.select(part)
+        return out
+
     def search_many(
         self, queries, k: int, nprobe: int | None = None
     ) -> list[SearchResult]:
@@ -190,53 +231,90 @@ class SpannSearcher:
         match :meth:`search`, so batch workloads drive the same
         maintenance signals as single-query ones.
         """
-        queries = [as_vector(q, self.centroid_index.dim) for q in queries]
+        if isinstance(queries, np.ndarray) and queries.ndim == 2:
+            queries = as_matrix(queries, self.centroid_index.dim)
+        else:
+            rows = [as_vector(q, self.centroid_index.dim) for q in queries]
+            if not rows:
+                return []
+            queries = as_matrix(np.stack(rows), self.centroid_index.dim)
+        if len(queries) == 0:
+            return []
         nprobe = nprobe or self.default_nprobe
+        with self.profiler.section("navigate"):
+            nav = self.centroid_index.search_batch(queries, nprobe)
         per_query_pids: list[list[int]] = []
         union: dict[int, None] = {}
-        for query in queries:
-            hits = self.centroid_index.search(query, nprobe)
-            pids = [int(p) for p in hits.posting_ids]
-            if self.prune_epsilon is not None and len(hits) > 1:
-                limit = (1.0 + self.prune_epsilon) ** 2 * float(hits.distances[0])
-                pids = [
-                    int(pid)
-                    for pid, dist in zip(hits.posting_ids, hits.distances)
-                    if float(dist) <= limit
-                ]
+        for hits in nav:
+            pids = self._prune(hits)
             per_query_pids.append(pids)
             for pid in pids:
                 union[pid] = None
         postings, io_latency = self.controller.parallel_get(list(union))
-        live_cache: dict[int, object] = {}
+
+        # Group the scan by posting: every posting's live vectors are scored
+        # against all queries that probe it with ONE fused kernel call,
+        # instead of one small kernel per (query, posting) pair. Row q of
+        # ``pairwise_sq_l2_exact`` is bit-identical to the per-query
+        # ``sq_l2_batch``, so results match the single-query path exactly.
+        queries_of: dict[int, list[int]] = {}
+        for qi, pids in enumerate(per_query_pids):
+            for pid in pids:
+                queries_of.setdefault(pid, []).append(qi)
+        # pid -> (entries on disk, live entries, live ids, per-query dist row)
+        scanned: dict[int, tuple[int, int, np.ndarray | None, dict | None]] = {}
+        with self.profiler.section("scan"):
+            lives = self._live_views(
+                [(pid, postings[pid]) for pid in queries_of if pid in postings]
+            )
+            for pid, qidxs in queries_of.items():
+                data = postings.get(pid)
+                if data is None:
+                    continue  # deleted concurrently; its vectors live elsewhere
+                live = lives[pid]
+                if len(live) == 0:
+                    scanned[pid] = (len(data), 0, None, None)
+                    continue
+                dists = pairwise_sq_l2_exact(queries[qidxs], live.vectors)
+                scanned[pid] = (
+                    len(data),
+                    len(live),
+                    live.ids,
+                    {qi: dists[j] for j, qi in enumerate(qidxs)},
+                )
+
         results: list[SearchResult] = []
-        for query, pids in zip(queries, per_query_pids):
+        for qi, pids in enumerate(per_query_pids):
             all_ids: list[np.ndarray] = []
             all_dists: list[np.ndarray] = []
             entries = 0
             undersized: list[int] = []
+            # Assemble in this query's candidate order so concatenation —
+            # and therefore stable top-k tie-breaking — matches the
+            # single-query path posting for posting.
             for pid in pids:
-                data = postings.get(pid)
-                if data is None:
+                info = scanned.get(pid)
+                if info is None:
                     continue
-                live = live_cache.get(pid)
-                if live is None:
-                    live = live_view(data, self.version_map)
-                    live_cache[pid] = live
-                entries += len(data)
-                if self.min_posting_size and len(live) < self.min_posting_size:
+                n_disk, n_live, ids_arr, rows = info
+                entries += n_disk
+                if self.min_posting_size and n_live < self.min_posting_size:
                     undersized.append(pid)
-                if len(live) == 0:
+                if n_live == 0:
                     continue
-                all_ids.append(live.ids)
-                all_dists.append(sq_l2_batch(query, live.vectors))
-            if all_ids:
-                top_ids, top_dists = dedup_top_k(
-                    np.concatenate(all_ids), np.concatenate(all_dists), k
-                )
-            else:
-                top_ids = np.empty(0, dtype=np.int64)
-                top_dists = np.empty(0, dtype=np.float32)
+                all_ids.append(ids_arr)
+                all_dists.append(rows[qi])
+            with self.profiler.section("topk"):
+                if all_ids:
+                    top_ids, top_dists = dedup_top_k(
+                        np.concatenate(all_ids),
+                        np.concatenate(all_dists),
+                        k,
+                        max_dup=len(all_ids),
+                    )
+                else:
+                    top_ids = np.empty(0, dtype=np.int64)
+                    top_dists = np.empty(0, dtype=np.float32)
             cpu = self.cpu_cost_per_query_us + self.cpu_cost_per_entry_us * entries
             results.append(
                 SearchResult(

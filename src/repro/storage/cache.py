@@ -104,14 +104,17 @@ class CachedBlockController:
                 out[pid] = cached
             else:
                 missing.append(pid)
-        latency = self.hit_latency_us if out else 0.0
+        hit_latency = self.hit_latency_us if out else 0.0
+        device_latency = 0.0
         if missing:
             fetched, device_latency = self.inner.parallel_get(missing)
-            latency += device_latency
             for pid, data in fetched.items():
                 out[pid] = data
                 self._cache_put(pid, data)
-        return out, latency
+        # Hits are served from DRAM while the device round-trip for the
+        # misses is in flight, so a mixed batch completes when the slower
+        # of the two paths does — not after both in sequence.
+        return out, max(hit_latency, device_latency)
 
     # ------------------------------------------------------------------
     # write paths (invalidate, delegate)

@@ -17,6 +17,7 @@ import threading
 from collections import deque
 from dataclasses import dataclass, field
 
+from repro.metrics.profiling import NULL_PROFILER, Profiler
 from repro.storage.layout import PostingCodec, PostingData
 from repro.storage.ssd import SimulatedSSD
 from repro.util.errors import OutOfSpaceError, StalePostingError, StorageError
@@ -33,11 +34,17 @@ class _PostingMeta:
 class BlockController:
     """Thread-safe posting store with simulated latency accounting."""
 
-    def __init__(self, ssd: SimulatedSSD, codec: PostingCodec) -> None:
+    def __init__(
+        self,
+        ssd: SimulatedSSD,
+        codec: PostingCodec,
+        profiler: Profiler | None = None,
+    ) -> None:
         if codec.block_size != ssd.block_size:
             raise StorageError("codec block size must match device block size")
         self.ssd = ssd
         self.codec = codec
+        self.profiler = profiler or NULL_PROFILER
         self._lock = threading.RLock()
         self._mapping: dict[int, _PostingMeta] = {}
         self._free: deque[int] = deque(range(ssd.num_blocks))
@@ -115,7 +122,10 @@ class BlockController:
         payloads = self.codec.encode(data)
         with self._lock:
             new_blocks = self._alloc(len(payloads))
-            latency = self.ssd.write_blocks(new_blocks, payloads) if payloads else 0.0
+            with self.profiler.section("io"):
+                latency = (
+                    self.ssd.write_blocks(new_blocks, payloads) if payloads else 0.0
+                )
             old = self._mapping.get(posting_id)
             self._mapping[posting_id] = _PostingMeta(len(data), new_blocks)
             if old is not None:
@@ -135,8 +145,10 @@ class BlockController:
             meta = self._mapping.get(posting_id)
             if meta is None:
                 raise StalePostingError(f"posting {posting_id} does not exist")
-            payloads, latency = self.ssd.read_blocks(meta.blocks)
-            return self.codec.decode(payloads, meta.length), latency
+            with self.profiler.section("io"):
+                payloads, latency = self.ssd.read_blocks(meta.blocks)
+            with self.profiler.section("decode"):
+                return self.codec.decode(payloads, meta.length), latency
 
     def parallel_get(
         self, posting_ids: list[int]
@@ -156,15 +168,13 @@ class BlockController:
                     continue
                 metas.append((pid, meta))
                 all_blocks.extend(meta.blocks)
-            payloads, latency = self.ssd.read_blocks(all_blocks)
-            out: dict[int, PostingData] = {}
-            cursor = 0
-            for pid, meta in metas:
-                nblocks = len(meta.blocks)
-                out[pid] = self.codec.decode(
-                    payloads[cursor : cursor + nblocks], meta.length
+            with self.profiler.section("io"):
+                payloads, latency = self.ssd.read_blocks(all_blocks)
+            with self.profiler.section("decode"):
+                datas = self.codec.decode_batch(
+                    payloads, [meta.length for _, meta in metas]
                 )
-                cursor += nblocks
+                out = {pid: data for (pid, _), data in zip(metas, datas)}
             return out, latency
 
     def append(self, posting_id: int, data: PostingData) -> float:
@@ -186,9 +196,11 @@ class BlockController:
             if meta.length > 0 and tail_fill < epb:
                 # Tail block is partial: re-read its entries and merge.
                 tail_block = meta.blocks[-1]
-                payloads, lat = self.ssd.read_blocks([tail_block])
+                with self.profiler.section("io"):
+                    payloads, lat = self.ssd.read_blocks([tail_block])
                 latency += lat
-                tail_entries = self.codec.decode(payloads, tail_fill)
+                with self.profiler.section("decode"):
+                    tail_entries = self.codec.decode(payloads, tail_fill)
                 merged = tail_entries.concat(data)
                 keep_blocks = meta.blocks[:-1]
                 released = [tail_block]
@@ -198,7 +210,8 @@ class BlockController:
                 released = []
             new_payloads = self.codec.encode(merged)
             new_blocks = self._alloc(len(new_payloads))
-            latency += self.ssd.write_blocks(new_blocks, new_payloads)
+            with self.profiler.section("io"):
+                latency += self.ssd.write_blocks(new_blocks, new_payloads)
             self._mapping[posting_id] = _PostingMeta(
                 meta.length + len(data), keep_blocks + new_blocks
             )

@@ -39,6 +39,7 @@ class FileBackedSSD(SimulatedSSD):
         self.num_blocks = num_blocks
         self.stats = IOStats()
         self._lock = threading.Lock()
+        self._zero_block = b"\x00" * self.profile.block_size
         self.path = path
         size = num_blocks * self.profile.block_size
         exists = os.path.exists(path)
@@ -91,7 +92,7 @@ class FileBackedSSD(SimulatedSSD):
         return latency
 
     def trim(self, block_ids: list[int]) -> None:
-        zero = b"\x00" * self.block_size
+        zero = self._zero_block
         with self._lock:
             for bid in block_ids:
                 self._check_block_id(bid)
@@ -101,7 +102,7 @@ class FileBackedSSD(SimulatedSSD):
 
     def used_blocks(self) -> int:
         """Blocks with any non-zero byte (diagnostic; O(device) scan)."""
-        zero = b"\x00" * self.block_size
+        zero = self._zero_block
         used = 0
         with self._lock:
             self._fh.seek(0)

@@ -77,8 +77,10 @@ class SimulatedSSD:
         self.num_blocks = num_blocks
         self.stats = IOStats()
         self._lock = threading.Lock()
-        # Sparse store: unwritten blocks read back as zeroes.
+        # Sparse store: unwritten blocks read back as zeroes. The shared
+        # zero block keeps hole reads allocation-free on the hot path.
         self._blocks: dict[int, bytes] = {}
+        self._zero_block = b"\x00" * self.block_size
 
     @property
     def block_size(self) -> int:
@@ -100,7 +102,7 @@ class SimulatedSSD:
         The batch is dispatched as one parallel I/O submission, matching the
         controller's Concurrent I/O Request Queue.
         """
-        zero = b"\x00" * self.block_size
+        zero = self._zero_block
         out: list[bytes] = []
         with self._lock:
             for bid in block_ids:
@@ -159,7 +161,7 @@ class SimulatedSSD:
         """Raw block content with no stats or simulated latency."""
         with self._lock:
             self._check_block_id(block_id)
-            return self._blocks.get(block_id, b"\x00" * self.block_size)
+            return self._blocks.get(block_id, self._zero_block)
 
     def poke_block(self, block_id: int, payload: bytes) -> None:
         """Write raw block content with no stats or simulated latency."""

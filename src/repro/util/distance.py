@@ -48,9 +48,15 @@ def as_matrix(x, dim: int | None = None) -> np.ndarray:
 
 
 def sq_l2(a: np.ndarray, b: np.ndarray) -> float:
-    """Squared Euclidean distance between two vectors."""
-    d = a.astype(np.float32, copy=False) - b.astype(np.float32, copy=False)
-    return float(np.dot(d, d))
+    """Squared Euclidean distance between two vectors.
+
+    Delegates to :func:`sq_l2_batch` so the scalar and batched kernels are
+    bit-identical by construction — the contract the vectorized search
+    paths (and their parity property tests) rely on.
+    """
+    a = np.asarray(a, dtype=np.float32)
+    b = np.asarray(b, dtype=np.float32)
+    return float(sq_l2_batch(a, b.reshape(1, -1))[0])
 
 
 def sq_l2_batch(query: np.ndarray, points: np.ndarray) -> np.ndarray:
@@ -64,6 +70,38 @@ def sq_l2_batch(query: np.ndarray, points: np.ndarray) -> np.ndarray:
         return np.empty(0, dtype=np.float32)
     diff = points - query
     return np.einsum("ij,ij->i", diff, diff).astype(np.float32, copy=False)
+
+
+def pairwise_sq_l2_exact(
+    queries: np.ndarray, points: np.ndarray, *, chunk_elems: int = 1 << 23
+) -> np.ndarray:
+    """All-pairs squared L2 whose rows are bit-identical to ``sq_l2_batch``.
+
+    The expanded-form GEMM in :func:`pairwise_sq_l2` is faster on big
+    matrices but rounds differently from the difference form, so it cannot
+    be used where batched results must match the single-query path bit for
+    bit (deterministic search, the perf gate's recall metrics). This kernel
+    broadcasts the difference instead: one fused einsum per call, row ``q``
+    equal to ``sq_l2_batch(queries[q], points)`` exactly.
+
+    The broadcast temporary is ``len(queries) x len(points) x dim`` floats;
+    ``chunk_elems`` bounds it by splitting along the query axis (chunking
+    preserves per-row bit-identity).
+    """
+    nq, npts = len(queries), len(points)
+    if nq == 0 or npts == 0:
+        return np.zeros((nq, npts), dtype=np.float32)
+    dim = points.shape[1]
+    rows_per_chunk = max(1, chunk_elems // max(npts * dim, 1))
+    if rows_per_chunk >= nq:
+        diff = points[None, :, :] - queries[:, None, :]
+        return np.einsum("qnj,qnj->qn", diff, diff).astype(np.float32, copy=False)
+    out = np.empty((nq, npts), dtype=np.float32)
+    for start in range(0, nq, rows_per_chunk):
+        stop = min(start + rows_per_chunk, nq)
+        diff = points[None, :, :] - queries[start:stop, None, :]
+        out[start:stop] = np.einsum("qnj,qnj->qn", diff, diff)
+    return out
 
 
 def pairwise_sq_l2(a: np.ndarray, b: np.ndarray) -> np.ndarray:

@@ -30,6 +30,15 @@ class TestReadPath:
         assert cached.hits == 1  # pid 1 hit inside parallel_get
         assert latency > cached.hit_latency_us  # device fetch for 2, 3
 
+    def test_parallel_get_overlaps_hits_with_device(self, cached):
+        # Hits are served from DRAM while the device fetch for the misses
+        # is in flight: a mixed batch costs max(hit, device), not the sum.
+        cached.get(1)
+        _, device_latency = cached.inner.parallel_get([2, 3])
+        _, latency = cached.parallel_get([1, 2, 3])
+        assert latency == max(cached.hit_latency_us, device_latency)
+        assert latency == device_latency  # device path dominates DRAM hits
+
     def test_all_cached_parallel_get(self, cached):
         cached.parallel_get([1, 2])
         _, latency = cached.parallel_get([1, 2])

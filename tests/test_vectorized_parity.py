@@ -1,0 +1,246 @@
+"""Property tests for the vectorized hot-path engine's bit-identity contracts.
+
+The batched kernels and search paths promise results *bit-identical* to
+their scalar counterparts — not merely approximately equal. These tests
+pin that contract with hypothesis-generated shapes and adversarial codec
+layouts, so any future "optimization" that changes rounding or tie-break
+order fails loudly instead of silently moving the perf gate's metrics.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.centroids.brute import BruteForceCentroidIndex
+from repro.centroids.graph import GraphCentroidIndex
+from repro.spann.postings import dedup_top_k
+from repro.storage.layout import PostingCodec, PostingData
+from repro.util.distance import pairwise_sq_l2_exact, sq_l2, sq_l2_batch
+
+def _matrix(rng, n, dim):
+    return (rng.normal(size=(n, dim)) * 10).astype(np.float32)
+
+
+class TestKernelBitIdentity:
+    @given(st.integers(1, 40), st.integers(1, 48), st.integers(0, 2**31 - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_sq_l2_batch_matches_scalar_loop(self, n, dim, seed):
+        rng = np.random.default_rng(seed)
+        points = _matrix(rng, n, dim)
+        query = _matrix(rng, 1, dim)[0]
+        batched = sq_l2_batch(query, points)
+        looped = np.array([sq_l2(query, p) for p in points], dtype=np.float32)
+        np.testing.assert_array_equal(batched, looped)
+
+    @given(st.integers(1, 24), st.integers(1, 40), st.integers(1, 32),
+           st.integers(0, 2**31 - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_pairwise_exact_rows_match_sq_l2_batch(self, nq, npts, dim, seed):
+        rng = np.random.default_rng(seed)
+        queries = _matrix(rng, nq, dim)
+        points = _matrix(rng, npts, dim)
+        pair = pairwise_sq_l2_exact(queries, points)
+        assert pair.shape == (nq, npts) and pair.dtype == np.float32
+        for q in range(nq):
+            np.testing.assert_array_equal(pair[q], sq_l2_batch(queries[q], points))
+
+    def test_pairwise_exact_chunked_path_identical(self):
+        rng = np.random.default_rng(3)
+        queries = _matrix(rng, 17, 8)
+        points = _matrix(rng, 23, 8)
+        full = pairwise_sq_l2_exact(queries, points)
+        # chunk_elems small enough to force several query-axis chunks
+        chunked = pairwise_sq_l2_exact(queries, points, chunk_elems=4 * 23 * 8)
+        np.testing.assert_array_equal(full, chunked)
+
+    def test_pairwise_exact_empty_shapes(self):
+        empty_q = np.empty((0, 4), dtype=np.float32)
+        pts = np.ones((3, 4), dtype=np.float32)
+        assert pairwise_sq_l2_exact(empty_q, pts).shape == (0, 3)
+        assert pairwise_sq_l2_exact(pts, np.empty((0, 4), np.float32)).shape == (3, 0)
+
+
+@pytest.mark.parametrize("kind", [BruteForceCentroidIndex, GraphCentroidIndex])
+class TestSearchBatchParity:
+    def _build(self, kind, rng, n, dim):
+        index = kind(dim)
+        for pid, row in enumerate(_matrix(rng, n, dim)):
+            index.add(pid + 10, row)
+        return index
+
+    @given(st.integers(1, 60), st.integers(1, 12), st.integers(0, 2**31 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_batch_equals_single(self, kind, n, k, seed):
+        rng = np.random.default_rng(seed)
+        dim = 8
+        index = self._build(kind, rng, n, dim)
+        queries = _matrix(rng, 7, dim)
+        batched = index.search_batch(queries, k)
+        for query, hit in zip(queries, batched):
+            single = index.search(query, k)
+            np.testing.assert_array_equal(hit.posting_ids, single.posting_ids)
+            np.testing.assert_array_equal(hit.distances, single.distances)
+
+    def test_batch_parity_after_churn(self, kind):
+        rng = np.random.default_rng(11)
+        dim = 6
+        index = self._build(kind, rng, 40, dim)
+        for pid in range(10, 30):
+            index.remove(pid)
+        for pid, row in enumerate(_matrix(rng, 15, dim)):
+            index.add(pid + 1000, row)
+        queries = _matrix(rng, 9, dim)
+        for query, hit in zip(queries, index.search_batch(queries, 5)):
+            single = index.search(query, 5)
+            np.testing.assert_array_equal(hit.posting_ids, single.posting_ids)
+            np.testing.assert_array_equal(hit.distances, single.distances)
+
+    def test_batch_on_empty_index(self, kind):
+        index = kind(4)
+        results = index.search_batch(np.ones((3, 4), dtype=np.float32), 2)
+        assert len(results) == 3
+        assert all(len(r) == 0 for r in results)
+
+
+class TestBruteActiveRowShrink:
+    def test_active_window_shrinks_under_churn(self):
+        rng = np.random.default_rng(0)
+        index = BruteForceCentroidIndex(4)
+        for pid, row in enumerate(_matrix(rng, 200, 4)):
+            index.add(pid, row)
+        peak = index.active_rows
+        assert peak >= 200
+        # Remove the top 150 postings: the scan window must collapse with
+        # them instead of scanning dead rows forever.
+        for pid in range(50, 200):
+            index.remove(pid)
+        assert len(index) == 50
+        assert index.active_rows == 50
+        # Sustained add/remove churn stays bounded by the live count, not
+        # by the historical peak.
+        for round_ in range(20):
+            for pid in range(1000 + round_ * 10, 1010 + round_ * 10):
+                index.add(pid, rng.normal(size=4).astype(np.float32))
+            for pid in range(1000 + round_ * 10, 1010 + round_ * 10):
+                index.remove(pid)
+        assert index.active_rows <= peak
+        assert index.active_rows < 200
+
+    def test_interior_hole_then_top_removal_shrinks_past_holes(self):
+        rng = np.random.default_rng(1)
+        index = BruteForceCentroidIndex(3)
+        for pid in range(10):
+            index.add(pid, rng.normal(size=3).astype(np.float32))
+        for pid in (7, 8):  # interior holes just below the top row
+            index.remove(pid)
+        index.remove(9)  # top row frees: window must skip the holes too
+        assert index.active_rows == 7
+
+
+class TestDedupMaxDupEquivalence:
+    @given(
+        st.lists(st.integers(0, 30), min_size=1, max_size=120),
+        st.integers(1, 15),
+        st.integers(1, 10),
+        st.integers(0, 2**31 - 1),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_prefilter_is_exact(self, id_list, k, max_dup, seed):
+        rng = np.random.default_rng(seed)
+        ids = np.array(id_list, dtype=np.int64)
+        # Duplicated ids share one distance value, mirroring identical
+        # replica vectors — the precondition the prefilter bound uses.
+        value_of = {i: np.float32(v) for i, v in
+                    zip(set(id_list), rng.random(len(set(id_list))))}
+        dists = np.array([value_of[i] for i in id_list], dtype=np.float32)
+        # Enforce the multiplicity bound by trimming surplus occurrences.
+        keep, counts = [], {}
+        for j, i in enumerate(id_list):
+            counts[i] = counts.get(i, 0) + 1
+            if counts[i] <= max_dup:
+                keep.append(j)
+        ids, dists = ids[keep], dists[keep]
+        plain = dedup_top_k(ids, dists, k)
+        fast = dedup_top_k(ids, dists, k, max_dup=max_dup)
+        np.testing.assert_array_equal(plain[0], fast[0])
+        np.testing.assert_array_equal(plain[1], fast[1])
+
+
+class TestCodecAdversarialShapes:
+    def _codec(self, dim=5, block_size=128):
+        return PostingCodec(dim=dim, block_size=block_size)
+
+    def _posting(self, rng, codec, n):
+        return PostingData.from_rows(
+            ids=rng.integers(0, 1 << 40, size=n),
+            versions=rng.integers(0, 127, size=n),
+            vectors=_matrix(rng, n, codec.dim),
+        )
+
+    def _device_pad(self, codec, payloads):
+        """Payloads as the device returns them: padded to full blocks."""
+        return [p + b"\x00" * (codec.block_size - len(p)) for p in payloads]
+
+    @pytest.mark.parametrize("n", [0, 1])
+    def test_empty_and_single_entry(self, n):
+        rng = np.random.default_rng(n)
+        codec = self._codec()
+        data = self._posting(rng, codec, n)
+        out = codec.decode(self._device_pad(codec, codec.encode(data)), n)
+        np.testing.assert_array_equal(out.ids, data.ids)
+        np.testing.assert_array_equal(out.versions, data.versions)
+        np.testing.assert_array_equal(out.vectors, data.vectors)
+
+    def test_exact_block_and_partial_tail(self):
+        rng = np.random.default_rng(2)
+        codec = self._codec()
+        epb = codec.entries_per_block
+        for n in (epb, epb + 1, 2 * epb, 2 * epb - 1, 3 * epb + epb // 2):
+            data = self._posting(rng, codec, n)
+            out = codec.decode(self._device_pad(codec, codec.encode(data)), n)
+            np.testing.assert_array_equal(out.ids, data.ids)
+            np.testing.assert_array_equal(out.versions, data.versions)
+            np.testing.assert_array_equal(out.vectors, data.vectors)
+            assert out.vectors.flags["C_CONTIGUOUS"]
+
+    @given(st.lists(st.integers(0, 40), min_size=1, max_size=12),
+           st.integers(0, 2**31 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_decode_batch_matches_per_posting_decode(self, sizes, seed):
+        rng = np.random.default_rng(seed)
+        codec = self._codec(dim=3, block_size=64)
+        postings = [self._posting(rng, codec, n) for n in sizes]
+        flat = []
+        for data in postings:
+            flat.extend(self._device_pad(codec, codec.encode(data)))
+        batch = codec.decode_batch(flat, sizes)
+        cursor = 0
+        for data, out, n in zip(postings, batch, sizes):
+            nblocks = codec.blocks_needed(n)
+            ref = codec.decode(flat[cursor : cursor + nblocks], n)
+            cursor += nblocks
+            for got in (out, ref):
+                np.testing.assert_array_equal(got.ids, data.ids)
+                np.testing.assert_array_equal(got.versions, data.versions)
+                np.testing.assert_array_equal(got.vectors, data.vectors)
+
+    def test_decode_batch_unpadded_fallback(self):
+        rng = np.random.default_rng(9)
+        codec = self._codec(dim=4, block_size=96)
+        sizes = [3, codec.entries_per_block, 1]
+        postings = [self._posting(rng, codec, n) for n in sizes]
+        flat = []  # raw encode() output: tail payloads are NOT block-sized
+        for data in postings:
+            flat.extend(codec.encode(data))
+        batch = codec.decode_batch(flat, sizes)
+        for data, out in zip(postings, batch):
+            np.testing.assert_array_equal(out.ids, data.ids)
+            np.testing.assert_array_equal(out.vectors, data.vectors)
+
+    def test_decode_batch_rejects_entries_without_blocks(self):
+        codec = self._codec()
+        from repro.util.errors import StorageError
+
+        with pytest.raises(StorageError):
+            codec.decode_batch([], [4])
