@@ -9,6 +9,7 @@ as the shard count grows.
 """
 
 import time
+from contextlib import nullcontext
 
 import numpy as np
 
@@ -31,31 +32,32 @@ def test_ext_distributed_scaling(benchmark, scale):
     config = spfresh_config()
 
     def measure(num_shards: int):
-        if num_shards == 1:
-            index = SPFreshIndex.build(dataset.base, config=config)
-            search = index.search
-            shard_sizes = [index.live_vector_count]
-            insert = index.insert
-        else:
-            index = ShardedSPFresh.build(
+        # The sharded facade owns a thread pool; the context manager
+        # releases it (a bare build here used to leak the executor).
+        cm = (
+            nullcontext(SPFreshIndex.build(dataset.base, config=config))
+            if num_shards == 1
+            else ShardedSPFresh.build(
                 dataset.base, num_shards=num_shards, config=config
             )
-            search = index.search
-            shard_sizes = index.shard_sizes()
-            insert = index.insert
-        ids, latencies = [], []
-        for q in queries:
-            r = search(q, 10, 8)
-            ids.append(r.ids)
-            latencies.append(r.latency_us)
-        recall = recall_at_k(ids, truth, 10)
-        start = time.perf_counter()
-        for i, vec in enumerate(dataset.pool):
-            insert(1_000_000 * num_shards + i, vec)
-        update_qps = len(dataset.pool) / (time.perf_counter() - start)
-        balance = max(shard_sizes) / max(min(shard_sizes), 1)
-        if isinstance(index, ShardedSPFresh):
-            index.close()
+        )
+        with cm as index:
+            shard_sizes = (
+                index.shard_sizes()
+                if isinstance(index, ShardedSPFresh)
+                else [index.live_vector_count]
+            )
+            ids, latencies = [], []
+            for q in queries:
+                r = index.search(q, 10, 8)
+                ids.append(r.ids)
+                latencies.append(r.latency_us)
+            recall = recall_at_k(ids, truth, 10)
+            start = time.perf_counter()
+            for i, vec in enumerate(dataset.pool):
+                index.insert(1_000_000 * num_shards + i, vec)
+            update_qps = len(dataset.pool) / (time.perf_counter() - start)
+            balance = max(shard_sizes) / max(min(shard_sizes), 1)
         return recall, float(np.mean(latencies)), update_qps, balance
 
     def experiment():

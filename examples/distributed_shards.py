@@ -20,38 +20,39 @@ DIM = 32
 
 def main() -> None:
     dataset = make_spacev_like(6000, 600, dim=DIM, seed=11)
-    cluster = ShardedSPFresh.build(
+    # The facade owns a thread pool; the context manager shuts it (and
+    # every shard's background workers) down on exit.
+    with ShardedSPFresh.build(
         dataset.base, num_shards=4, config=SPFreshConfig(dim=DIM)
-    )
-    print(f"4-shard cluster: shard sizes {cluster.shard_sizes()}, "
-          f"{cluster.num_postings} postings total")
+    ) as cluster:
+        print(f"4-shard cluster: shard sizes {cluster.shard_sizes()}, "
+              f"{cluster.num_postings} postings total")
 
-    # Scatter-gather search quality matches a single node.
-    queries = dataset.base[:40] + 0.01
-    truth = exact_knn(dataset.base, np.arange(6000), queries, 10)
-    ids, latencies = [], []
-    for q in queries:
-        result = cluster.search(q, 10, nprobe=8)
-        ids.append(result.ids)
-        latencies.append(result.latency_us)
-    print(f"recall10@10 = {recall_at_k(ids, truth, 10):.3f}, "
-          f"mean simulated latency {np.mean(latencies):.0f} us "
-          f"(max over shards + merge)")
+        # Scatter-gather search quality matches a single node; the
+        # batched facade answers the whole query set in one pass per
+        # shard (one ParallelGET each).
+        queries = dataset.base[:40] + 0.01
+        truth = exact_knn(dataset.base, np.arange(6000), queries, 10)
+        results = cluster.search_many(queries, 10, nprobe=8)
+        ids = [r.ids for r in results]
+        latencies = [r.latency_us for r in results]
+        print(f"recall10@10 = {recall_at_k(ids, truth, 10):.3f}, "
+              f"mean simulated latency {np.mean(latencies):.0f} us "
+              f"(max over shards + merge)")
 
-    # Updates are single-shard operations.
-    for i, vec in enumerate(dataset.pool):
-        cluster.insert(100_000 + i, vec)
-    for vid in range(300):
-        cluster.delete(vid)
-    cluster.drain()
-    print(f"after 900 updates: shard sizes {cluster.shard_sizes()} "
-          f"(hash routing keeps them balanced)")
+        # Updates are single-shard operations.
+        for i, vec in enumerate(dataset.pool):
+            cluster.insert(100_000 + i, vec)
+        for vid in range(300):
+            cluster.delete(vid)
+        cluster.drain()
+        print(f"after 900 updates: shard sizes {cluster.shard_sizes()} "
+              f"(hash routing keeps them balanced)")
 
-    probe = dataset.pool[0]
-    result = cluster.search(probe, 1)
-    assert result.ids[0] == 100_000
-    print("freshly inserted vector is the top hit — done.")
-    cluster.close()
+        probe = dataset.pool[0]
+        result = cluster.search(probe, 1)
+        assert result.ids[0] == 100_000
+        print("freshly inserted vector is the top hit — done.")
 
 
 if __name__ == "__main__":

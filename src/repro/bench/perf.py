@@ -57,7 +57,14 @@ SCHEMA_VERSION = 1
 FILE_PREFIX = "BENCH_"
 
 # Deterministic metrics are gated lower-is-better unless named here.
-_HIGHER_IS_BETTER_SUFFIXES = ("recall_at_k", "hit_rate", "speedup")
+_HIGHER_IS_BETTER_SUFFIXES = (
+    "recall_at_k",
+    "hit_rate",
+    "speedup",
+    "goodput_qps",
+    "answered_qps",
+    "batch_size_mean",
+)
 
 
 @dataclass
@@ -598,6 +605,103 @@ def scenario_throughput(scale: PerfScale, seed: int) -> ScenarioResult:
     )
 
 
+def scenario_serving(scale: PerfScale, seed: int) -> ScenarioResult:
+    """Open-loop serving: admission + dynamic batching vs unbatched.
+
+    One seeded bursty, hot-key-skewed, multi-tenant arrival trace is
+    served twice through ``repro.serving.ServingFrontend`` over the same
+    freshly built index: once with the dynamic batcher (config knobs) and
+    once unbatched (``max_batch=1``, ``max_wait_us=0`` — the baseline a
+    serving layer must beat). Everything runs on the simulated clock, so
+    goodput, tail latency, SLO-violation rate, and shed rate gate in CI;
+    ``goodput_speedup`` gates the batched-beats-unbatched claim itself.
+    """
+    from repro.datasets import make_arrival_trace
+    from repro.serving import ServingFrontend
+
+    dataset = make_sift_like(scale.base_vectors, 0, dim=scale.dim, seed=seed)
+    config = _base_config(scale, seed)
+    index = SPFreshIndex.build(dataset.base, config=config)
+    pool = _queries(dataset, scale, seed)
+    trace = make_arrival_trace(
+        pool,
+        n_requests=scale.serve_requests,
+        mean_rate_qps=scale.serve_rate_qps,
+        pattern="bursty",
+        hot_key_skew=0.8,
+        tenant_weights=4,
+        seed=seed + 5,
+        name=f"serving-{scale.name}",
+    )
+
+    wall_start = time.perf_counter()
+    batched = ServingFrontend.from_config(
+        index.searcher, config, k=scale.k, nprobe=scale.nprobe
+    ).run(trace)
+    batched_wall = time.perf_counter() - wall_start
+    wall_start = time.perf_counter()
+    unbatched = ServingFrontend.from_config(
+        index.searcher,
+        config,
+        k=scale.k,
+        nprobe=scale.nprobe,
+        max_batch=1,
+        max_wait_us=0.0,
+    ).run(trace)
+    unbatched_wall = time.perf_counter() - wall_start
+
+    bm = batched.metrics()
+    um = unbatched.metrics()
+    deterministic = {
+        "goodput_qps": _round(bm["goodput_qps"]),
+        "unbatched_goodput_qps": _round(um["goodput_qps"]),
+        "goodput_speedup": _round(
+            bm["goodput_qps"] / um["goodput_qps"] if um["goodput_qps"] else 0.0
+        ),
+        "answered_qps": _round(bm["answered_qps"]),
+        "shed_rate": _round(bm["shed_rate"], 4),
+        "unbatched_shed_rate": _round(um["shed_rate"], 4),
+        "slo_violation_rate": _round(bm["slo_violation_rate"], 4),
+        "unbatched_slo_violation_rate": _round(um["slo_violation_rate"], 4),
+        "e2e_latency_us_p50": bm["e2e_latency_us_p50"],
+        "e2e_latency_us_p99": bm["e2e_latency_us_p99"],
+        "e2e_latency_us_p99.9": bm["e2e_latency_us_p99.9"],
+        "unbatched_e2e_latency_us_p99": um["e2e_latency_us_p99"],
+        "queue_wait_us_mean": _round(bm["queue_wait_us_mean"]),
+        "assembly_wait_us_mean": _round(bm["assembly_wait_us_mean"]),
+        "engine_us_mean": _round(bm["engine_us_mean"]),
+        "batch_size_mean": _round(bm["batch_size_mean"]),
+        "batch_count": bm["batch_count"],
+        "retry_after_us_mean": _round(bm["retry_after_us_mean"]),
+    }
+    wall_clock = {
+        "batched_requests_per_s": _round(
+            scale.serve_requests / batched_wall if batched_wall > 0 else 0.0
+        ),
+        "unbatched_requests_per_s": _round(
+            scale.serve_requests / unbatched_wall if unbatched_wall > 0 else 0.0
+        ),
+    }
+    return ScenarioResult(
+        scenario="serving",
+        config={
+            **_scenario_config(scale, seed, config),
+            "serve_requests": scale.serve_requests,
+            "serve_rate_qps": scale.serve_rate_qps,
+            "pattern": "bursty",
+            "hot_key_skew": 0.8,
+            "tenants": 4,
+            "queue_capacity": config.serve_queue_capacity,
+            "max_batch": config.serve_max_batch,
+            "max_wait_us": config.serve_max_wait_us,
+            "slo_us": config.serve_slo_us,
+            "admission_wait_budget_us": config.serve_admission_wait_budget_us,
+        },
+        deterministic=deterministic,
+        wall_clock=wall_clock,
+    )
+
+
 SCENARIOS = {
     "search": scenario_search,
     "update": scenario_update,
@@ -605,6 +709,7 @@ SCENARIOS = {
     "recovery": scenario_recovery,
     "cache": scenario_cache,
     "throughput": scenario_throughput,
+    "serving": scenario_serving,
 }
 
 
@@ -671,6 +776,10 @@ def run_markdown_summary(results: list[ScenarioResult]) -> str:
         "cached_latency_us_p50",
         "single_recall_at_k",
         "cache_hit_rate",
+        "goodput_qps",
+        "slo_violation_rate",
+        "shed_rate",
+        "batch_size_mean",
         "splits",
         "merges",
         "reassign_executed",

@@ -51,6 +51,8 @@ class PerfScale:
     updates: int  # insert/delete ops in the update scenario
     storm_inserts: int  # hot-cluster burst size in the rebalance scenario
     recovery_updates: int  # WAL'd updates replayed in the recovery scenario
+    serve_requests: int = 2000  # open-loop arrivals in the serving scenario
+    serve_rate_qps: float = 6000.0  # mean offered load of the arrival trace
     k: int = 10
     nprobe: int = 8
 
@@ -66,6 +68,8 @@ PERF_SCALES = {
         updates=2400,
         storm_inserts=900,
         recovery_updates=600,
+        serve_requests=6000,
+        serve_rate_qps=6000.0,
     ),
     # Unit-test tier: seconds, still exercises every metric.
     "tiny": PerfScale(
@@ -77,6 +81,8 @@ PERF_SCALES = {
         updates=220,
         storm_inserts=160,
         recovery_updates=80,
+        serve_requests=500,
+        serve_rate_qps=12000.0,
     ),
     # Local deep-dive tier (not wired into CI).
     "full": PerfScale(
@@ -88,5 +94,7 @@ PERF_SCALES = {
         updates=6000,
         storm_inserts=2400,
         recovery_updates=1500,
+        serve_requests=20000,
+        serve_rate_qps=8000.0,
     ),
 }

@@ -221,6 +221,109 @@ def cmd_profile(args) -> int:
     return 0
 
 
+def cmd_serve_bench(args) -> int:
+    """Drive the open-loop serving front-end and print/report its metrics.
+
+    Builds an index, generates a seeded arrival trace (pattern, rate,
+    hot-key skew, tenants all flags), then serves it twice: through the
+    dynamic batcher and — unless ``--no-baseline`` — unbatched
+    (``max_batch=1``), printing the side-by-side table the CI lane
+    uploads as ``SERVING.md``.
+    """
+    from repro.bench.reporting import format_markdown_table
+    from repro.datasets import make_arrival_trace
+    from repro.serving import ServingFrontend
+
+    dataset = _dataset(args)
+    config = SPFreshConfig(
+        dim=args.dim,
+        seed=args.seed,
+        serve_max_batch=args.max_batch,
+        serve_max_wait_us=args.max_wait_us,
+        serve_slo_us=args.slo_us,
+        serve_queue_capacity=args.queue_capacity,
+    ).validate()
+    index = SPFreshIndex.build(dataset.base, config=config)
+    rng = np.random.default_rng(args.seed + 1)
+    pool = (
+        dataset.base[rng.integers(0, args.base, size=max(args.queries, 1))]
+        + rng.normal(scale=0.05, size=(max(args.queries, 1), args.dim))
+    ).astype(np.float32)
+    trace = make_arrival_trace(
+        pool,
+        n_requests=args.requests,
+        mean_rate_qps=args.rate_qps,
+        pattern=args.pattern,
+        hot_key_skew=args.hot_key_skew,
+        tenant_weights=args.tenants if args.tenants > 1 else None,
+        seed=args.seed + 5,
+    )
+    runs = [
+        (
+            "batched",
+            ServingFrontend.from_config(index.searcher, config, k=10),
+        )
+    ]
+    if not args.no_baseline:
+        runs.append(
+            (
+                "unbatched",
+                ServingFrontend.from_config(
+                    index.searcher, config, k=10, max_batch=1, max_wait_us=0.0
+                ),
+            )
+        )
+    headline = (
+        "goodput_qps",
+        "answered_qps",
+        "e2e_latency_us_p50",
+        "e2e_latency_us_p99",
+        "e2e_latency_us_p99.9",
+        "slo_violation_rate",
+        "shed_rate",
+        "batch_size_mean",
+        "queue_wait_us_mean",
+        "assembly_wait_us_mean",
+        "engine_us_mean",
+    )
+    rows = []
+    tenant_rows = []
+    for label, frontend in runs:
+        report = frontend.run(trace)
+        metrics = report.metrics()
+        rows.append([label] + [f"{metrics[k]:.3f}" for k in headline])
+        for tenant, tm in report.per_tenant_metrics().items():
+            tenant_rows.append(
+                (
+                    label,
+                    tenant,
+                    int(tm["offered"]),
+                    f"{tm['shed_rate']:.3f}",
+                    f"{tm['e2e_latency_us_p99']:.0f}",
+                )
+            )
+    table = format_markdown_table(
+        ["mode", *headline],
+        rows,
+        title=(
+            f"serving: {trace.name} — {len(trace)} requests, "
+            f"{trace.offered_qps:.0f} offered qps, SLO {config.serve_slo_us:g} us"
+        ),
+    )
+    tenant_table = format_markdown_table(
+        ["mode", "tenant", "offered", "shed_rate", "e2e_p99_us"],
+        tenant_rows,
+        title="per-tenant breakdown",
+    )
+    output = table + "\n\n" + tenant_table
+    print(output)
+    if args.report:
+        with open(args.report, "w") as fh:
+            fh.write(output + "\n")
+        print(f"\nwrote {args.report}")
+    return 0
+
+
 def cmd_sweep_nprobe(args) -> int:
     """Trace the recall/latency trade-off across nprobe settings."""
     from repro.bench.reporting import format_table
@@ -271,6 +374,34 @@ def build_parser() -> argparse.ArgumentParser:
     sweep = sub.add_parser("sweep-nprobe", help="recall/latency curve")
     _add_common(sweep)
     sweep.set_defaults(func=cmd_sweep_nprobe)
+
+    serve = sub.add_parser(
+        "serve-bench",
+        help="open-loop serving bench: admission + dynamic batching",
+    )
+    _add_common(serve)
+    serve.add_argument("--requests", type=int, default=6000)
+    serve.add_argument("--rate-qps", type=float, default=6000.0)
+    serve.add_argument(
+        "--pattern",
+        choices=("poisson", "bursty", "diurnal"),
+        default="bursty",
+    )
+    serve.add_argument("--hot-key-skew", type=float, default=0.8)
+    serve.add_argument("--tenants", type=int, default=4)
+    serve.add_argument("--max-batch", type=int, default=32)
+    serve.add_argument("--max-wait-us", type=float, default=1500.0)
+    serve.add_argument("--slo-us", type=float, default=15000.0)
+    serve.add_argument("--queue-capacity", type=int, default=256)
+    serve.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="skip the unbatched comparison run",
+    )
+    serve.add_argument(
+        "--report", default=None, help="also write the tables to this file"
+    )
+    serve.set_defaults(func=cmd_serve_bench)
 
     profile = sub.add_parser(
         "profile", help="wall-clock stage profile of a mixed workload"

@@ -76,6 +76,15 @@ class SPFreshConfig:
     background_workers: int = 2
     synchronous_rebuild: bool = True  # run LIRE jobs inline (deterministic)
 
+    # --- serving front-end (repro.serving, docs/serving.md) ---
+    serve_queue_capacity: int = 256  # bounded request queue depth
+    serve_max_batch: int = 32  # dynamic batcher size trigger
+    serve_max_wait_us: float = 1500.0  # dynamic batcher time trigger
+    serve_slo_us: float = 15_000.0  # end-to-end latency SLO
+    # Admission sheds when the modelled queue wait exceeds this budget
+    # (None disables wait-based shedding; the depth bound still applies).
+    serve_admission_wait_budget_us: float | None = 30_000.0
+
     # --- misc ---
     # Wall-clock profiler (repro.metrics.profiling). Off by default: the
     # disabled cost is one attribute check per instrumented section.
@@ -118,6 +127,21 @@ class SPFreshConfig:
             )
         if self.enable_reassign and not self.enable_split:
             raise ConfigError("enable_reassign requires enable_split")
+        if self.serve_queue_capacity < 1:
+            raise ConfigError("serve_queue_capacity must be at least 1")
+        if self.serve_max_batch < 1:
+            raise ConfigError("serve_max_batch must be at least 1")
+        if self.serve_max_wait_us < 0:
+            raise ConfigError("serve_max_wait_us must be non-negative")
+        if self.serve_slo_us <= 0:
+            raise ConfigError("serve_slo_us must be positive")
+        if (
+            self.serve_admission_wait_budget_us is not None
+            and self.serve_admission_wait_budget_us <= 0
+        ):
+            raise ConfigError(
+                "serve_admission_wait_budget_us must be positive or None"
+            )
         return self
 
     def with_overrides(self, **kwargs) -> "SPFreshConfig":

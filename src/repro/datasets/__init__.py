@@ -11,6 +11,7 @@ from repro.datasets.synthetic import (
     make_sift_like,
     make_spacev_like,
 )
+from repro.datasets.arrival import ArrivalTrace, make_arrival_trace
 from repro.datasets.groundtruth import GroundTruthTracker, exact_knn
 from repro.datasets.workloads import (
     UpdateEpoch,
@@ -23,6 +24,8 @@ from repro.datasets.workloads import (
 )
 
 __all__ = [
+    "ArrivalTrace",
+    "make_arrival_trace",
     "ClusteredDataset",
     "make_sift_like",
     "make_spacev_like",

@@ -1,0 +1,245 @@
+"""Seeded open-loop arrival traces for the serving front-end.
+
+A *closed-loop* bench (issue one query, wait, issue the next) can never
+observe queueing: the client politely slows down whenever the server
+does. Production traffic is *open loop* — millions of users issue
+requests on their own schedule, and when the server falls behind, work
+piles up. These generators produce that schedule deterministically: a
+``(seed, parameters)`` pair fully determines every arrival timestamp,
+tenant, and query choice, so serving metrics built on top of them can
+gate CI byte-for-byte (see ``repro.serving``).
+
+Four arrival regimes cover the shapes that stress an admission/batching
+layer differently:
+
+* ``poisson`` — memoryless steady state; batches fill at a steady rate;
+* ``bursty``  — two-state (calm/burst) modulated Poisson, the regime
+  where admission control earns its keep;
+* ``diurnal`` — sinusoidal rate swing (day/night), long overload windows;
+* hot-key skew — a Zipf-distributed query pool (orthogonal knob, applies
+  to any regime), the regime that rewards caching and per-posting
+  batch grouping.
+
+Multi-tenancy is a weight vector: each request carries a tenant id so
+the front-end can report per-tenant latency/shed metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+PATTERNS = ("poisson", "bursty", "diurnal")
+
+
+@dataclass
+class ArrivalTrace:
+    """An open-loop request schedule over a fixed query pool.
+
+    ``arrival_us`` is sorted and starts at (or near) zero; request ``i``
+    asks query ``queries[query_index[i]]`` on behalf of ``tenant[i]``.
+    The pool is deliberately smaller than the request count so hot-key
+    skew repeats queries, the way real traffic repeats popular searches.
+    """
+
+    name: str
+    arrival_us: np.ndarray  # float64, sorted, microseconds from t=0
+    tenant: np.ndarray  # int32 tenant id per request
+    query_index: np.ndarray  # int32 row into ``queries`` per request
+    queries: np.ndarray  # float32 (pool_size, dim) query pool
+
+    def __post_init__(self) -> None:
+        n = len(self.arrival_us)
+        if not (len(self.tenant) == len(self.query_index) == n):
+            raise ValueError("trace columns must have equal length")
+        if n and np.any(np.diff(self.arrival_us) < 0):
+            raise ValueError("arrival_us must be sorted")
+        if n and (
+            self.query_index.min() < 0
+            or self.query_index.max() >= len(self.queries)
+        ):
+            raise ValueError("query_index out of pool range")
+
+    def __len__(self) -> int:
+        return len(self.arrival_us)
+
+    @property
+    def dim(self) -> int:
+        return self.queries.shape[1]
+
+    @property
+    def num_tenants(self) -> int:
+        return int(self.tenant.max()) + 1 if len(self.tenant) else 0
+
+    @property
+    def duration_us(self) -> float:
+        """Span from t=0 to the last arrival."""
+        return float(self.arrival_us[-1]) if len(self.arrival_us) else 0.0
+
+    @property
+    def offered_qps(self) -> float:
+        """Mean offered load over the trace span."""
+        if len(self) < 2 or self.duration_us <= 0:
+            return 0.0
+        return len(self) / (self.duration_us / 1e6)
+
+    def query_matrix(self) -> np.ndarray:
+        """Per-request query rows (gathers the pool; hot keys repeat)."""
+        return self.queries[self.query_index]
+
+
+def _zipf_pool_weights(
+    pool_size: int, skew: float, rng: np.random.Generator
+) -> np.ndarray:
+    """Zipf mass over a *shuffled* pool, so hot keys sit at random rows."""
+    ranks = np.arange(1, pool_size + 1, dtype=np.float64)
+    weights = ranks ** (-skew)
+    rng.shuffle(weights)
+    return weights / weights.sum()
+
+
+def _interarrivals(
+    n_requests: int,
+    mean_rate_qps: float,
+    pattern: str,
+    rng: np.random.Generator,
+    burst_factor: float,
+    burst_fraction: float,
+    diurnal_period_s: float,
+    diurnal_depth: float,
+) -> np.ndarray:
+    """Inter-arrival gaps (us) for one of the three rate regimes."""
+    unit = rng.exponential(scale=1.0, size=n_requests)  # Exp(1) draws
+    if pattern == "poisson":
+        return unit * (1e6 / mean_rate_qps)
+    if pattern == "bursty":
+        if not 0.0 < burst_fraction < 1.0 or burst_factor < 1.0:
+            raise ValueError(
+                "bursty pattern needs 0 < burst_fraction < 1 and burst_factor >= 1"
+            )
+        # Two-state modulated Poisson: calm at a sub-mean rate, bursts at
+        # burst_factor x. Dwell times are geometric (seeded), and calm
+        # rate is solved so the *time-weighted* mean rate stays at
+        # mean_rate_qps regardless of the burst knobs.
+        burst_rate = mean_rate_qps * burst_factor
+        calm_time = 1.0 - burst_fraction
+        # mean = calm_time*calm_rate + burst_fraction*burst_rate, solved
+        # for calm_rate (floored when the bursts alone exceed the mean).
+        calm_rate = max(
+            mean_rate_qps * (1.0 - burst_fraction * burst_factor) / calm_time,
+            mean_rate_qps * 0.05,
+        )
+        # Expected dwell lengths (in requests) chosen so the fraction of
+        # *time* spent bursting is ~burst_fraction.
+        mean_burst_run = max(2.0, n_requests * 0.02)
+        mean_calm_run = max(
+            2.0,
+            mean_burst_run
+            * (calm_time / burst_fraction)
+            * (calm_rate / burst_rate),
+        )
+        gaps = np.empty(n_requests, dtype=np.float64)
+        in_burst = False
+        run_left = rng.geometric(1.0 / mean_calm_run)
+        for i in range(n_requests):
+            if run_left <= 0:
+                in_burst = not in_burst
+                run_left = rng.geometric(
+                    1.0 / (mean_burst_run if in_burst else mean_calm_run)
+                )
+            rate = burst_rate if in_burst else calm_rate
+            gaps[i] = unit[i] * (1e6 / rate)
+            run_left -= 1
+        return gaps
+    if pattern == "diurnal":
+        # Sinusoidal rate: lambda(t) = mean * (1 + depth * sin(2*pi*t/P)).
+        # Sequential thinning-free form: each gap is drawn at the rate in
+        # effect at the previous arrival — accurate when gaps are short
+        # relative to the period, which holds at serving rates.
+        period_us = diurnal_period_s * 1e6
+        gaps = np.empty(n_requests, dtype=np.float64)
+        t = 0.0
+        for i in range(n_requests):
+            rate = mean_rate_qps * (
+                1.0 + diurnal_depth * np.sin(2.0 * np.pi * t / period_us)
+            )
+            rate = max(rate, mean_rate_qps * (1.0 - abs(diurnal_depth)), 1e-6)
+            gaps[i] = unit[i] * (1e6 / rate)
+            t += gaps[i]
+        return gaps
+    raise ValueError(f"unknown arrival pattern {pattern!r}; choose from {PATTERNS}")
+
+
+def make_arrival_trace(
+    queries: np.ndarray,
+    n_requests: int,
+    mean_rate_qps: float,
+    pattern: str = "poisson",
+    *,
+    hot_key_skew: float = 0.0,
+    tenant_weights=None,
+    burst_factor: float = 8.0,
+    burst_fraction: float = 0.1,
+    diurnal_period_s: float = 2.0,
+    diurnal_depth: float = 0.8,
+    seed: int = 0,
+    name: str | None = None,
+) -> ArrivalTrace:
+    """Generate a seeded open-loop trace over a query pool.
+
+    ``queries`` is the pool of distinct query vectors; requests draw rows
+    from it uniformly (``hot_key_skew=0``) or Zipf-skewed (``>0``, larger
+    = hotter head). ``tenant_weights`` is ``None`` (single tenant), an
+    int (that many equal tenants), or a weight sequence.
+    """
+    queries = np.ascontiguousarray(queries, dtype=np.float32)
+    if queries.ndim != 2 or len(queries) == 0:
+        raise ValueError("queries must be a non-empty (pool, dim) matrix")
+    if n_requests < 1:
+        raise ValueError("n_requests must be positive")
+    if mean_rate_qps <= 0:
+        raise ValueError("mean_rate_qps must be positive")
+    if hot_key_skew < 0:
+        raise ValueError("hot_key_skew must be non-negative")
+    rng = np.random.default_rng(seed)
+
+    gaps = _interarrivals(
+        n_requests,
+        mean_rate_qps,
+        pattern,
+        rng,
+        burst_factor,
+        burst_fraction,
+        diurnal_period_s,
+        diurnal_depth,
+    )
+    arrival_us = np.cumsum(gaps)
+
+    if hot_key_skew > 0:
+        weights = _zipf_pool_weights(len(queries), hot_key_skew, rng)
+        query_index = rng.choice(len(queries), size=n_requests, p=weights)
+    else:
+        query_index = rng.integers(0, len(queries), size=n_requests)
+
+    if tenant_weights is None:
+        tenant = np.zeros(n_requests, dtype=np.int32)
+    else:
+        if isinstance(tenant_weights, (int, np.integer)):
+            weights = np.full(int(tenant_weights), 1.0 / int(tenant_weights))
+        else:
+            weights = np.asarray(tenant_weights, dtype=np.float64)
+            if weights.ndim != 1 or len(weights) == 0 or np.any(weights < 0):
+                raise ValueError("tenant_weights must be non-negative weights")
+            weights = weights / weights.sum()
+        tenant = rng.choice(len(weights), size=n_requests, p=weights).astype(
+            np.int32
+        )
+
+    return ArrivalTrace(
+        name=name or f"{pattern}-{mean_rate_qps:g}qps-s{seed}",
+        arrival_us=arrival_us,
+        tenant=tenant,
+        query_index=query_index.astype(np.int32),
+        queries=queries,
+    )

@@ -37,12 +37,27 @@ class ShardRouter:
         self.num_shards = num_shards
 
     def shard_of(self, vector_id: int) -> int:
+        """Scalar oracle; :meth:`partition` is pinned bit-identical to it."""
         mixed = (int(vector_id) * self._MIX) & 0xFFFFFFFFFFFFFFFF
         return (mixed >> 32) % self.num_shards
 
+    def shard_of_batch(self, ids: np.ndarray) -> np.ndarray:
+        """Vectorized ``shard_of`` over an id array (int64 shard per row).
+
+        uint64 arithmetic wraps modulo 2**64 exactly like the scalar
+        path's ``& 0xFFFF...`` mask (negative ids reinterpret two's-
+        complement, matching Python's masked product), so this is
+        bit-identical to ``shard_of`` for the full int64 range.
+        """
+        ids_u = np.ascontiguousarray(ids, dtype=np.int64).view(np.uint64)
+        mixed = ids_u * np.uint64(self._MIX)
+        return (
+            (mixed >> np.uint64(32)) % np.uint64(self.num_shards)
+        ).astype(np.int64)
+
     def partition(self, ids: np.ndarray) -> list[np.ndarray]:
         """Row indices of ``ids`` belonging to each shard."""
-        shards = np.array([self.shard_of(int(v)) for v in ids], dtype=np.int64)
+        shards = self.shard_of_batch(ids)
         return [np.nonzero(shards == s)[0] for s in range(self.num_shards)]
 
 
@@ -134,6 +149,62 @@ class ShardedSPFresh:
             truncated=any(r.truncated for r in results),
         )
 
+    def search_many(
+        self,
+        queries: np.ndarray,
+        k: int,
+        nprobe: int | None = None,
+        parallel: bool = False,
+    ) -> list[SearchResult]:
+        """Batched scatter-gather: every shard answers the whole batch.
+
+        Each shard runs its vectorized ``search_batch`` once over all
+        queries (one ParallelGET per shard for the whole batch), then the
+        per-query shard results merge exactly like :meth:`search` — same
+        shard order, same ``dedup_top_k`` — so per-query ids/distances are
+        bit-identical to the single-query facade path whenever the
+        engine's own batch/single parity holds (the budget hard cut is
+        per-query only and does not apply in batch mode, matching
+        ``SpannSearcher.search_many``).
+        """
+        queries = as_matrix(queries, self.shards[0].config.dim)
+        if len(queries) == 0:
+            return []
+        if parallel:
+            pool = self._ensure_pool()
+            per_shard = list(
+                pool.map(
+                    lambda shard: shard.search_batch(queries, k, nprobe),
+                    self.shards,
+                )
+            )
+        else:
+            per_shard = [
+                shard.search_batch(queries, k, nprobe) for shard in self.shards
+            ]
+        merged: list[SearchResult] = []
+        for qi in range(len(queries)):
+            results = [shard_results[qi] for shard_results in per_shard]
+            all_ids = np.concatenate([r.ids for r in results])
+            all_dists = np.concatenate([r.distances for r in results])
+            top_ids, top_dists = dedup_top_k(all_ids, all_dists, k)
+            merged.append(
+                SearchResult(
+                    ids=top_ids,
+                    distances=top_dists,
+                    latency_us=max(r.latency_us for r in results)
+                    + self.MERGE_COST_US,
+                    postings_probed=sum(r.postings_probed for r in results),
+                    entries_scanned=sum(r.entries_scanned for r in results),
+                    io_latency_us=max(r.io_latency_us for r in results),
+                    truncated=any(r.truncated for r in results),
+                )
+            )
+        return merged
+
+    # ``ServingFrontend`` resolves engines by this name too.
+    search_batch = search_many
+
     def _ensure_pool(self) -> ThreadPoolExecutor:
         if self._pool is None:
             self._pool = ThreadPoolExecutor(max_workers=len(self.shards))
@@ -149,11 +220,24 @@ class ShardedSPFresh:
         return sum(shard.gc_pass() for shard in self.shards)
 
     def close(self) -> None:
+        """Shut down the thread pool and every shard's background workers.
+
+        Idempotent. Callers that don't manage lifetimes explicitly should
+        use the facade as a context manager (``with ShardedSPFresh.build(
+        ...) as cluster:``) — without it, a forgotten ``close()`` leaks
+        the pool's threads for the life of the process.
+        """
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
         for shard in self.shards:
             shard.stop()
+
+    def __enter__(self) -> "ShardedSPFresh":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     # accounting

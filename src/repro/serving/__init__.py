@@ -1,0 +1,30 @@
+"""Serving front-end: open-loop admission, dynamic batching, SLO accounting.
+
+This package turns the engine's fast ``search_many`` hot path into a
+*service*: requests arrive on their own schedule (``repro.datasets.
+arrival``), pass an admission controller guarding a bounded queue, are
+coalesced by a dynamic batcher under a latency SLO, and leave with a
+fully decomposed end-to-end latency (queue wait + batch assembly +
+engine time) on the simulated clock — so goodput, tail latency, SLO
+violations, and shed rates are byte-deterministic under a fixed seed
+and gate CI like every other simulated metric.
+
+See ``docs/serving.md`` for the model and knobs.
+"""
+
+from repro.serving.admission import AdmissionController, AdmissionDecision
+from repro.serving.batcher import DynamicBatcher
+from repro.serving.frontend import (
+    RequestOutcome,
+    ServingFrontend,
+    ServingReport,
+)
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionDecision",
+    "DynamicBatcher",
+    "RequestOutcome",
+    "ServingFrontend",
+    "ServingReport",
+]

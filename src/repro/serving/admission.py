@@ -1,0 +1,114 @@
+"""Admission control for the serving queue (shed early, shed cheap).
+
+An open-loop workload has no client-side backpressure: when offered
+load exceeds capacity the queue grows without bound, and *every*
+request's latency diverges. The admission controller converts that
+collapse into bounded, explicit degradation — requests beyond what the
+queue can absorb are rejected at arrival with a ``retry_after_us``
+signal, which costs nearly nothing, instead of timing out after
+consuming queue space and batch slots.
+
+Two independent shed conditions, both checked at arrival time:
+
+* **depth** — the bounded queue is full (``queue_capacity``);
+* **modelled wait** — the predicted time until this request would
+  *start* service exceeds ``wait_budget_us``. The prediction uses the
+  engine-busy horizon plus the number of whole batches queued ahead,
+  priced at an EWMA of recent batch service times — the same two-clock
+  discipline the rest of the repo uses (modelled, deterministic, never
+  wall clock).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class AdmissionDecision:
+    """Outcome of one admission check."""
+
+    admitted: bool
+    modelled_wait_us: float
+    retry_after_us: float = 0.0  # > 0 only when shed
+    reason: str = ""  # "", "queue_full", "wait_budget"
+
+
+class AdmissionController:
+    """Depth- and wait-bounded admission in front of the request queue."""
+
+    def __init__(
+        self,
+        queue_capacity: int,
+        wait_budget_us: float | None,
+        max_batch: int,
+        initial_batch_service_us: float = 500.0,
+        ewma_alpha: float = 0.2,
+    ) -> None:
+        if queue_capacity < 1:
+            raise ValueError("queue_capacity must be at least 1")
+        if max_batch < 1:
+            raise ValueError("max_batch must be at least 1")
+        if wait_budget_us is not None and wait_budget_us <= 0:
+            raise ValueError("wait_budget_us must be positive or None")
+        if not 0.0 < ewma_alpha <= 1.0:
+            raise ValueError("ewma_alpha must be in (0, 1]")
+        self.queue_capacity = queue_capacity
+        self.wait_budget_us = wait_budget_us
+        self.max_batch = max_batch
+        self.ewma_alpha = ewma_alpha
+        self._batch_service_us = float(initial_batch_service_us)
+        self.admitted = 0
+        self.shed_queue_full = 0
+        self.shed_wait_budget = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def batch_service_estimate_us(self) -> float:
+        """Current EWMA of batch service time (the wait model's price)."""
+        return self._batch_service_us
+
+    def observe_batch(self, service_us: float) -> None:
+        """Feed one completed batch's service time into the EWMA."""
+        self._batch_service_us += self.ewma_alpha * (
+            float(service_us) - self._batch_service_us
+        )
+
+    def modelled_wait_us(
+        self, now_us: float, queue_depth: int, engine_free_at_us: float
+    ) -> float:
+        """Predicted queue wait for a request arriving now.
+
+        Time until the engine frees up, plus one EWMA-priced batch per
+        full ``max_batch`` of requests already queued ahead of it.
+        """
+        busy = max(0.0, engine_free_at_us - now_us)
+        batches_ahead = queue_depth // self.max_batch
+        return busy + batches_ahead * self._batch_service_us
+
+    def admit(
+        self, now_us: float, queue_depth: int, engine_free_at_us: float
+    ) -> AdmissionDecision:
+        """Admit or shed one arrival given the queue/engine state."""
+        wait = self.modelled_wait_us(now_us, queue_depth, engine_free_at_us)
+        if queue_depth >= self.queue_capacity:
+            self.shed_queue_full += 1
+            return AdmissionDecision(
+                admitted=False,
+                modelled_wait_us=wait,
+                # The earliest the backlog could meaningfully shrink:
+                # after the modelled wait, one batch's worth drains.
+                retry_after_us=max(wait, self._batch_service_us),
+                reason="queue_full",
+            )
+        if self.wait_budget_us is not None and wait > self.wait_budget_us:
+            self.shed_wait_budget += 1
+            return AdmissionDecision(
+                admitted=False,
+                modelled_wait_us=wait,
+                retry_after_us=max(wait - self.wait_budget_us, 0.0)
+                + self._batch_service_us,
+                reason="wait_budget",
+            )
+        self.admitted += 1
+        return AdmissionDecision(admitted=True, modelled_wait_us=wait)

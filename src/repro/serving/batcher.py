@@ -1,0 +1,60 @@
+"""Dynamic batching policy: fill fast, never hold past the wait bound.
+
+The engine's ``search_many`` amortizes one device submission across a
+whole batch, so larger batches buy throughput — but a request that sits
+waiting for stragglers pays that wait in its own tail latency. The
+classic resolution (every production inference/search server uses a
+variant) is a two-trigger batcher:
+
+* **size trigger** — dispatch the moment ``max_batch`` requests are
+  queued; the batch is as amortized as allowed;
+* **time trigger** — otherwise dispatch when the *oldest* queued request
+  has waited ``max_wait_us``; no request's assembly delay ever exceeds
+  the knob.
+
+``max_wait_us=0`` degrades to unbatched serving (every request
+dispatches alone unless a backlog formed while the engine was busy),
+which is exactly the baseline the serving bench compares against.
+
+The batcher is a pure policy object: given the queued requests it
+reports *when* the next batch is ready and *which* requests form it.
+The frontend's event loop owns time; keeping the policy side-effect
+free is what makes the simulation deterministic and the policy unit-
+testable.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+
+
+class DynamicBatcher:
+    """max-batch / max-wait coalescing policy over an arrival-ordered queue."""
+
+    def __init__(self, max_batch: int, max_wait_us: float) -> None:
+        if max_batch < 1:
+            raise ValueError("max_batch must be at least 1")
+        if max_wait_us < 0:
+            raise ValueError("max_wait_us must be non-negative")
+        self.max_batch = max_batch
+        self.max_wait_us = max_wait_us
+
+    def ready_at(self, queue: deque) -> float:
+        """Earliest simulated time the queued batch is ready to dispatch.
+
+        ``queue`` holds objects with an ``arrival_us`` attribute in
+        arrival order. A full batch is ready the instant its
+        ``max_batch``-th member arrived; a partial one when its oldest
+        member's wait bound expires. Empty queue: never (+inf).
+        """
+        if not queue:
+            return math.inf
+        if len(queue) >= self.max_batch:
+            return float(queue[self.max_batch - 1].arrival_us)
+        return float(queue[0].arrival_us) + self.max_wait_us
+
+    def take(self, queue: deque) -> list:
+        """Pop the next batch (oldest ``max_batch`` requests) off the queue."""
+        n = min(self.max_batch, len(queue))
+        return [queue.popleft() for _ in range(n)]

@@ -58,6 +58,13 @@ class CachedBlockController:
             return data
 
     def _cache_put(self, posting_id: int, data: PostingData) -> None:
+        # Copy-on-insert: ``parallel_get`` hands out zero-copy slices of
+        # the shared decode arena (PostingCodec.decode_batch), and callers
+        # may mutate what they were handed. The cache outlives the call,
+        # so it must own its bytes — ``owned()`` copies exactly when the
+        # columns are views and is free on the single-GET path, whose
+        # decode already returns owned columns.
+        data = data.owned()
         with self._lock:
             self._cache[posting_id] = data
             self._cache.move_to_end(posting_id)

@@ -54,6 +54,31 @@ class PostingData:
             vectors=vectors,
         )
 
+    def owns_memory(self) -> bool:
+        """True when every column owns its buffer (no views into arenas)."""
+        return (
+            self.ids.base is None
+            and self.versions.base is None
+            and self.vectors.base is None
+        )
+
+    def owned(self) -> "PostingData":
+        """Self if all columns own their memory; otherwise a deep copy.
+
+        ``decode_batch`` returns postings whose columns are zero-copy
+        slices of one shared decode arena. Anything that holds a posting
+        beyond the current call (the block cache, most importantly) must
+        take ownership first, or a later mutation of the arena silently
+        rewrites the held posting.
+        """
+        if self.owns_memory():
+            return self
+        return PostingData(
+            ids=self.ids.copy(),
+            versions=self.versions.copy(),
+            vectors=self.vectors.copy(),
+        )
+
     def select(self, mask: np.ndarray) -> "PostingData":
         """New PostingData containing only rows where ``mask`` is True."""
         return PostingData(

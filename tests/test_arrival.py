@@ -1,0 +1,147 @@
+"""Tests for the seeded open-loop arrival-trace generators."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import make_arrival_trace
+from repro.datasets.arrival import PATTERNS, ArrivalTrace
+
+
+@pytest.fixture
+def pool(rng):
+    return rng.normal(size=(64, 8)).astype(np.float32)
+
+
+class TestGeneration:
+    @pytest.mark.parametrize("pattern", PATTERNS)
+    def test_basic_shape(self, pool, pattern):
+        trace = make_arrival_trace(pool, 500, 2000.0, pattern, seed=3)
+        assert len(trace) == 500
+        assert trace.dim == 8
+        assert np.all(np.diff(trace.arrival_us) >= 0)
+        assert trace.arrival_us[0] > 0
+        assert trace.query_matrix().shape == (500, 8)
+
+    @pytest.mark.parametrize("pattern", PATTERNS)
+    def test_deterministic_under_seed(self, pool, pattern):
+        a = make_arrival_trace(pool, 300, 1500.0, pattern, seed=9)
+        b = make_arrival_trace(pool, 300, 1500.0, pattern, seed=9)
+        np.testing.assert_array_equal(a.arrival_us, b.arrival_us)
+        np.testing.assert_array_equal(a.query_index, b.query_index)
+        np.testing.assert_array_equal(a.tenant, b.tenant)
+
+    def test_seed_changes_trace(self, pool):
+        a = make_arrival_trace(pool, 300, 1500.0, seed=1)
+        b = make_arrival_trace(pool, 300, 1500.0, seed=2)
+        assert not np.array_equal(a.arrival_us, b.arrival_us)
+
+    def test_mean_rate_near_target(self, pool):
+        trace = make_arrival_trace(pool, 20_000, 5000.0, "poisson", seed=0)
+        assert trace.offered_qps == pytest.approx(5000.0, rel=0.05)
+
+    def test_bursty_rate_stays_near_target(self, pool):
+        trace = make_arrival_trace(pool, 20_000, 5000.0, "bursty", seed=0)
+        assert trace.offered_qps == pytest.approx(5000.0, rel=0.35)
+
+    def test_bursty_has_heavier_short_gap_tail_than_poisson(self, pool):
+        poisson = make_arrival_trace(pool, 10_000, 4000.0, "poisson", seed=4)
+        bursty = make_arrival_trace(
+            pool, 10_000, 4000.0, "bursty", burst_factor=10.0, seed=4
+        )
+        # During bursts the instantaneous rate is 10x, so the fraction of
+        # very short gaps must exceed the memoryless baseline.
+        threshold = 1e6 / 4000.0 / 10.0
+        frac = lambda t: float(np.mean(np.diff(t.arrival_us) < threshold))  # noqa: E731
+        assert frac(bursty) > frac(poisson)
+
+    def test_diurnal_rate_oscillates(self, pool):
+        trace = make_arrival_trace(
+            pool,
+            20_000,
+            5000.0,
+            "diurnal",
+            diurnal_period_s=1.0,
+            diurnal_depth=0.9,
+            seed=6,
+        )
+        # Count arrivals in each quarter-period bucket: peaks and troughs
+        # must differ by well over the Poisson noise floor.
+        edges = np.arange(0, trace.duration_us, 0.25e6)
+        counts, _ = np.histogram(trace.arrival_us, bins=edges)
+        assert counts.max() > 2.0 * max(counts.min(), 1)
+
+
+class TestSkewAndTenants:
+    def test_hot_key_skew_concentrates_mass(self, pool):
+        uniform = make_arrival_trace(pool, 8000, 1000.0, seed=11)
+        skewed = make_arrival_trace(
+            pool, 8000, 1000.0, hot_key_skew=1.2, seed=11
+        )
+        top_share = lambda t: (  # noqa: E731
+            np.sort(np.bincount(t.query_index, minlength=len(pool)))[-4:].sum()
+            / len(t)
+        )
+        assert top_share(skewed) > 2.0 * top_share(uniform)
+
+    def test_tenant_weights(self, pool):
+        trace = make_arrival_trace(
+            pool, 6000, 1000.0, tenant_weights=[0.7, 0.2, 0.1], seed=12
+        )
+        counts = np.bincount(trace.tenant, minlength=3)
+        assert counts[0] > counts[1] > counts[2]
+        assert trace.num_tenants == 3
+
+    def test_int_tenant_weights(self, pool):
+        trace = make_arrival_trace(pool, 2000, 1000.0, tenant_weights=4, seed=13)
+        assert trace.num_tenants == 4
+
+    def test_single_tenant_default(self, pool):
+        trace = make_arrival_trace(pool, 100, 1000.0, seed=0)
+        assert trace.num_tenants == 1
+        assert np.all(trace.tenant == 0)
+
+
+class TestValidation:
+    def test_bad_pattern(self, pool):
+        with pytest.raises(ValueError):
+            make_arrival_trace(pool, 10, 100.0, "weekly")
+
+    def test_bad_rate(self, pool):
+        with pytest.raises(ValueError):
+            make_arrival_trace(pool, 10, 0.0)
+
+    def test_bad_requests(self, pool):
+        with pytest.raises(ValueError):
+            make_arrival_trace(pool, 0, 100.0)
+
+    def test_bad_skew(self, pool):
+        with pytest.raises(ValueError):
+            make_arrival_trace(pool, 10, 100.0, hot_key_skew=-1.0)
+
+    def test_bad_burst_fraction(self, pool):
+        with pytest.raises(ValueError):
+            make_arrival_trace(pool, 10, 100.0, "bursty", burst_fraction=1.5)
+
+    def test_empty_pool(self):
+        with pytest.raises(ValueError):
+            make_arrival_trace(np.empty((0, 4), dtype=np.float32), 10, 100.0)
+
+    def test_unsorted_rejected(self, pool):
+        with pytest.raises(ValueError):
+            ArrivalTrace(
+                name="bad",
+                arrival_us=np.array([2.0, 1.0]),
+                tenant=np.zeros(2, dtype=np.int32),
+                query_index=np.zeros(2, dtype=np.int32),
+                queries=pool,
+            )
+
+    def test_query_index_range_checked(self, pool):
+        with pytest.raises(ValueError):
+            ArrivalTrace(
+                name="bad",
+                arrival_us=np.array([1.0, 2.0]),
+                tenant=np.zeros(2, dtype=np.int32),
+                query_index=np.array([0, len(pool)], dtype=np.int32),
+                queries=pool,
+            )

@@ -79,6 +79,49 @@ class TestWriteInvalidation:
         out, _ = cached.parallel_get([2])
         assert out == {}
 
+
+class TestArenaAliasing:
+    """The cache must own its bytes, not alias the decode arena.
+
+    ``BlockController.parallel_get`` decodes the whole batch into one
+    shared arena and hands out zero-copy slices. Storing those slices in
+    the cache means a caller mutating its (supposedly private) result —
+    or a later decode reusing the arena — silently poisons every future
+    hit. Regression tests for the copy-on-insert fix.
+    """
+
+    def test_caller_mutation_does_not_poison_cache(self, cached):
+        # Multi-posting parallel_get takes the arena path.
+        out, _ = cached.parallel_get([4, 5, 6])
+        pristine_ids = out[4].ids.copy()
+        pristine_vecs = out[4].vectors.copy()
+        # Caller scribbles over everything it was handed.
+        for data in out.values():
+            data.ids[:] = -1
+            data.versions[:] = 255
+            data.vectors[:] = np.nan
+        hit, _ = cached.parallel_get([4])
+        np.testing.assert_array_equal(hit[4].ids, pristine_ids)
+        np.testing.assert_array_equal(hit[4].vectors, pristine_vecs)
+
+    def test_cached_entries_own_their_memory(self, cached):
+        cached.parallel_get([0, 1, 2])
+        for data in cached._cache.values():
+            assert data.owns_memory()
+
+    def test_single_get_not_needlessly_copied(self, cached):
+        # The single-GET decode already returns owned columns; the
+        # copy-on-insert must be a no-op there (owned() returns self).
+        data, _ = cached.get(3)
+        assert data.owns_memory()
+        assert cached._cache[3] is data
+
+    def test_memory_accounting_survives_source_mutation(self, cached):
+        out, _ = cached.parallel_get([0, 1])
+        before = cached.memory_bytes()
+        out[0].vectors[:] = 0.0
+        assert cached.memory_bytes() == before
+
     def test_clear(self, cached):
         cached.get(0)
         cached.clear()

@@ -2,6 +2,8 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.core.index import SPFreshIndex
 from repro.datasets import GroundTruthTracker, exact_knn
@@ -11,9 +13,8 @@ from tests.conftest import DIM
 
 @pytest.fixture
 def sharded(vectors, small_config):
-    index = ShardedSPFresh.build(vectors, num_shards=3, config=small_config)
-    yield index
-    index.close()
+    with ShardedSPFresh.build(vectors, num_shards=3, config=small_config) as index:
+        yield index
 
 
 class TestRouter:
@@ -42,6 +43,36 @@ class TestRouter:
     def test_invalid_count(self):
         with pytest.raises(ValueError):
             ShardRouter(0)
+
+    @given(
+        ids=st.lists(
+            st.integers(min_value=-(2**63), max_value=2**63 - 1),
+            min_size=1,
+            max_size=64,
+        ),
+        num_shards=st.integers(min_value=1, max_value=17),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_batch_hash_bit_identical_to_scalar(self, ids, num_shards):
+        # The vectorized uint64 path must agree with the scalar oracle on
+        # the FULL int64 range, including negatives (two's-complement
+        # reinterpretation) and values whose product wraps mod 2**64.
+        router = ShardRouter(num_shards)
+        id_arr = np.asarray(ids, dtype=np.int64)
+        expected = np.asarray(
+            [router.shard_of(int(i)) for i in ids], dtype=np.int64
+        )
+        np.testing.assert_array_equal(router.shard_of_batch(id_arr), expected)
+        parts = router.partition(id_arr)
+        for shard, rows in enumerate(parts):
+            assert all(expected[r] == shard for r in rows)
+        assert sum(len(p) for p in parts) == len(ids)
+
+    def test_batch_hash_accepts_non_contiguous_input(self):
+        router = ShardRouter(5)
+        ids = np.arange(0, 200, dtype=np.int64)[::2]  # strided view
+        expected = [router.shard_of(int(i)) for i in ids]
+        np.testing.assert_array_equal(router.shard_of_batch(ids), expected)
 
 
 class TestBuild:
@@ -138,3 +169,61 @@ class TestUpdates:
         assert sharded.memory_bytes() == sum(
             s.memory_bytes() for s in sharded.shards
         )
+
+
+class TestBatchedFacade:
+    def test_search_many_matches_search_per_query(self, sharded, vectors):
+        queries = vectors[:12] + 0.01
+        batched = sharded.search_many(queries, 5, nprobe=8)
+        assert len(batched) == len(queries)
+        for q, b in zip(queries, batched):
+            single = sharded.search(q, 5, nprobe=8)
+            np.testing.assert_array_equal(b.ids, single.ids)
+            np.testing.assert_array_equal(b.distances, single.distances)
+
+    def test_search_many_parallel_matches_serial(self, sharded, vectors):
+        queries = vectors[:8] + 0.01
+        serial = sharded.search_many(queries, 5, nprobe=8)
+        parallel = sharded.search_many(queries, 5, nprobe=8, parallel=True)
+        for s, p in zip(serial, parallel):
+            np.testing.assert_array_equal(s.ids, p.ids)
+            np.testing.assert_array_equal(s.distances, p.distances)
+
+    def test_search_batch_alias(self, sharded, vectors):
+        assert sharded.search_batch == sharded.search_many
+
+    def test_empty_batch(self, sharded):
+        assert sharded.search_many(np.empty((0, DIM), dtype=np.float32), 5) == []
+
+    def test_latency_model_matches_single_facade(self, sharded, vectors):
+        queries = vectors[:4] + 0.01
+        for result in sharded.search_many(queries, 5, nprobe=8):
+            assert result.latency_us > ShardedSPFresh.MERGE_COST_US
+            assert result.io_latency_us <= result.latency_us
+
+
+class TestLifecycle:
+    def test_context_manager_shuts_down_pool(self, vectors, small_config):
+        with ShardedSPFresh.build(
+            vectors, num_shards=3, config=small_config
+        ) as index:
+            index.search(vectors[0], 5, nprobe=4, parallel=True)
+            assert index._pool is not None
+            pool = index._pool
+        # __exit__ drained and released the executor.
+        assert index._pool is None
+        assert pool._shutdown
+
+    def test_close_is_idempotent(self, vectors, small_config):
+        index = ShardedSPFresh.build(vectors, num_shards=3, config=small_config)
+        index.search(vectors[0], 5, parallel=True)
+        index.close()
+        index.close()
+        assert index._pool is None
+
+    def test_no_pool_until_parallel_use(self, vectors, small_config):
+        with ShardedSPFresh.build(
+            vectors, num_shards=3, config=small_config
+        ) as index:
+            index.search(vectors[0], 5)
+            assert index._pool is None

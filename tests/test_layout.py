@@ -47,6 +47,30 @@ class TestPostingData:
         merged = sub.concat(data.select(~mask))
         assert len(merged) == 10
 
+    def test_owned_is_noop_for_owning_columns(self, rng):
+        data = PostingData(
+            ids=np.arange(6, dtype=np.int64),
+            versions=np.zeros(6, dtype=np.uint8),
+            vectors=rng.normal(size=(6, DIM)).astype(np.float32),
+        )
+        assert data.owns_memory()
+        assert data.owned() is data
+
+    def test_owned_copies_views(self, rng):
+        data = PostingData(
+            ids=np.arange(6, dtype=np.int64),
+            versions=np.zeros(6, dtype=np.uint8),
+            vectors=rng.normal(size=(6, DIM)).astype(np.float32),
+        )
+        view = PostingData(
+            ids=data.ids[:4], versions=data.versions[:4], vectors=data.vectors[:4]
+        )
+        assert not view.owns_memory()
+        owned = view.owned()
+        assert owned.owns_memory()
+        data.ids[:] = -1
+        assert not np.array_equal(owned.ids, data.ids[:4])
+
 
 class TestCodec:
     def test_entry_packing_geometry(self):

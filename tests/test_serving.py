@@ -1,0 +1,329 @@
+"""Tests for the serving front-end: admission, batcher, event loop."""
+
+import json
+import math
+from collections import deque
+
+import numpy as np
+import pytest
+
+from repro.core.config import ConfigError, SPFreshConfig
+from repro.core.index import SPFreshIndex
+from repro.datasets import make_arrival_trace
+from repro.serving import (
+    AdmissionController,
+    DynamicBatcher,
+    ServingFrontend,
+)
+from tests.conftest import DIM
+
+
+class _Req:
+    def __init__(self, arrival_us):
+        self.arrival_us = arrival_us
+
+
+def _queue(*times):
+    return deque(_Req(t) for t in times)
+
+
+class TestBatcher:
+    def test_empty_queue_never_ready(self):
+        b = DynamicBatcher(max_batch=4, max_wait_us=100.0)
+        assert b.ready_at(deque()) == math.inf
+
+    def test_full_batch_ready_at_last_member_arrival(self):
+        b = DynamicBatcher(max_batch=3, max_wait_us=1000.0)
+        assert b.ready_at(_queue(10.0, 20.0, 30.0, 40.0)) == 30.0
+
+    def test_partial_batch_waits_on_oldest(self):
+        b = DynamicBatcher(max_batch=8, max_wait_us=100.0)
+        assert b.ready_at(_queue(10.0, 50.0)) == 110.0
+
+    def test_zero_wait_dispatches_immediately(self):
+        b = DynamicBatcher(max_batch=8, max_wait_us=0.0)
+        assert b.ready_at(_queue(42.0)) == 42.0
+
+    def test_take_pops_oldest_up_to_max_batch(self):
+        b = DynamicBatcher(max_batch=2, max_wait_us=0.0)
+        q = _queue(1.0, 2.0, 3.0)
+        batch = b.take(q)
+        assert [r.arrival_us for r in batch] == [1.0, 2.0]
+        assert len(q) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DynamicBatcher(max_batch=0, max_wait_us=10.0)
+        with pytest.raises(ValueError):
+            DynamicBatcher(max_batch=1, max_wait_us=-1.0)
+
+
+class TestAdmission:
+    def test_admits_when_idle(self):
+        ctl = AdmissionController(queue_capacity=4, wait_budget_us=1000.0, max_batch=2)
+        d = ctl.admit(0.0, 0, 0.0)
+        assert d.admitted and d.reason == "" and d.retry_after_us == 0.0
+
+    def test_sheds_on_full_queue(self):
+        ctl = AdmissionController(queue_capacity=2, wait_budget_us=None, max_batch=2)
+        d = ctl.admit(0.0, 2, 0.0)
+        assert not d.admitted
+        assert d.reason == "queue_full"
+        assert d.retry_after_us > 0.0
+        assert ctl.shed_queue_full == 1
+
+    def test_sheds_on_wait_budget(self):
+        ctl = AdmissionController(queue_capacity=100, wait_budget_us=50.0, max_batch=4)
+        # Engine busy for another 200us: modelled wait blows the budget.
+        d = ctl.admit(0.0, 0, 200.0)
+        assert not d.admitted
+        assert d.reason == "wait_budget"
+        assert d.modelled_wait_us == 200.0
+        assert d.retry_after_us > 0.0
+        assert ctl.shed_wait_budget == 1
+
+    def test_no_wait_budget_disables_wait_shedding(self):
+        ctl = AdmissionController(queue_capacity=100, wait_budget_us=None, max_batch=4)
+        assert ctl.admit(0.0, 0, 10_000_000.0).admitted
+
+    def test_modelled_wait_prices_queued_batches(self):
+        ctl = AdmissionController(
+            queue_capacity=100,
+            wait_budget_us=None,
+            max_batch=4,
+            initial_batch_service_us=100.0,
+        )
+        # 9 queued ahead = 2 whole batches at the EWMA price, engine busy 50.
+        assert ctl.modelled_wait_us(0.0, 9, 50.0) == 50.0 + 2 * 100.0
+
+    def test_ewma_tracks_observations(self):
+        ctl = AdmissionController(
+            queue_capacity=4,
+            wait_budget_us=None,
+            max_batch=2,
+            initial_batch_service_us=100.0,
+            ewma_alpha=0.5,
+        )
+        ctl.observe_batch(300.0)
+        assert ctl.batch_service_estimate_us == pytest.approx(200.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdmissionController(queue_capacity=0, wait_budget_us=None, max_batch=1)
+        with pytest.raises(ValueError):
+            AdmissionController(queue_capacity=1, wait_budget_us=-5.0, max_batch=1)
+        with pytest.raises(ValueError):
+            AdmissionController(queue_capacity=1, wait_budget_us=None, max_batch=0)
+
+
+@pytest.fixture
+def query_pool(vectors, rng):
+    return (vectors[:48] + rng.normal(scale=0.05, size=(48, DIM))).astype(np.float32)
+
+
+@pytest.fixture
+def trace(query_pool):
+    return make_arrival_trace(
+        query_pool,
+        400,
+        8000.0,
+        "bursty",
+        hot_key_skew=0.8,
+        tenant_weights=3,
+        seed=21,
+        name="test-trace",
+    )
+
+
+class TestFrontendCorrectness:
+    def test_every_admitted_request_answered_exactly_once(self, built_index, trace):
+        fe = ServingFrontend(built_index.searcher, k=5, queue_capacity=64)
+        report = fe.run(trace)
+        assert len(report.outcomes) == len(trace)
+        answered = report.answered
+        shed = report.shed
+        assert len(answered) + len(shed) == len(trace)
+        # No request appears in two batches, none is dropped silently.
+        assert len({o.index for o in answered}) == len(answered)
+        assert sum(b.size for b in report.batches) == len(answered)
+        for o in answered:
+            assert o.batch_id >= 0
+            assert o.completion_us > o.arrival_us
+
+    def test_answers_bit_identical_to_direct_search(self, built_index, trace):
+        fe = ServingFrontend(
+            built_index.searcher, k=5, queue_capacity=64, keep_results=True
+        )
+        report = fe.run(trace)
+        pool = trace.queries
+        for o in report.answered[:60]:
+            direct = built_index.searcher.search(pool[o.query_index], 5)
+            np.testing.assert_array_equal(o.result.ids, direct.ids)
+            np.testing.assert_array_equal(o.result.distances, direct.distances)
+
+    def test_shed_requests_never_answered(self, built_index, query_pool):
+        # Tiny queue + tight budget under heavy load: shedding must occur,
+        # and shed requests must carry a retry signal and no result.
+        overload = make_arrival_trace(query_pool, 400, 100_000.0, seed=3)
+        fe = ServingFrontend(
+            built_index.searcher,
+            k=5,
+            queue_capacity=8,
+            max_batch=4,
+            max_wait_us=200.0,
+            admission_wait_budget_us=2000.0,
+            keep_results=True,
+        )
+        report = fe.run(overload)
+        shed = report.shed
+        assert shed, "overload trace should shed"
+        for o in shed:
+            assert o.result is None
+            assert o.batch_id == -1
+            assert o.completion_us == 0.0
+            assert o.retry_after_us > 0.0
+            assert o.shed_reason in ("queue_full", "wait_budget")
+        assert (
+            report.shed_queue_full + report.shed_wait_budget == len(shed)
+        )
+
+    def test_latency_decomposition(self, built_index, trace):
+        fe = ServingFrontend(built_index.searcher, k=5)
+        report = fe.run(trace)
+        for o in report.answered:
+            assert o.queue_wait_us >= 0.0
+            assert o.assembly_wait_us >= 0.0
+            assert o.engine_us > 0.0
+            assert o.e2e_us == pytest.approx(
+                o.queue_wait_us + o.assembly_wait_us + o.engine_us
+            )
+
+    def test_assembly_wait_bounded_by_max_wait(self, built_index, trace):
+        max_wait = 500.0
+        fe = ServingFrontend(built_index.searcher, k=5, max_wait_us=max_wait)
+        report = fe.run(trace)
+        for o in report.answered:
+            assert o.assembly_wait_us <= max_wait + 1e-6
+
+    def test_batch_size_respects_max_batch(self, built_index, trace):
+        fe = ServingFrontend(built_index.searcher, k=5, max_batch=6)
+        report = fe.run(trace)
+        assert max(b.size for b in report.batches) <= 6
+
+    def test_unbatched_mode_all_singletons(self, built_index, trace):
+        fe = ServingFrontend(
+            built_index.searcher, k=5, max_batch=1, max_wait_us=0.0
+        )
+        report = fe.run(trace)
+        assert all(b.size == 1 for b in report.batches)
+
+    def test_engine_without_batch_api_rejected(self):
+        with pytest.raises(TypeError):
+            ServingFrontend(object(), k=5)
+
+
+class TestFrontendMetrics:
+    def test_metrics_consistent(self, built_index, trace):
+        fe = ServingFrontend(built_index.searcher, k=5)
+        report = fe.run(trace)
+        m = report.metrics()
+        assert m["offered_requests"] == len(trace)
+        assert m["answered_requests"] + m["shed_requests"] == len(trace)
+        assert 0.0 <= m["shed_rate"] <= 1.0
+        assert 0.0 <= m["slo_violation_rate"] <= 1.0
+        assert m["goodput_qps"] <= m["answered_qps"] <= m["offered_qps"]
+        assert m["batch_size_mean"] >= 1.0
+
+    def test_per_tenant_metrics_cover_all_tenants(self, built_index, trace):
+        fe = ServingFrontend(built_index.searcher, k=5)
+        report = fe.run(trace)
+        per_tenant = report.per_tenant_metrics()
+        assert set(per_tenant) == set(range(trace.num_tenants))
+        assert sum(t["offered"] for t in per_tenant.values()) == len(trace)
+
+    def test_batching_beats_unbatched_goodput_under_load(
+        self, built_index, query_pool
+    ):
+        heavy = make_arrival_trace(
+            query_pool, 600, 30_000.0, "bursty", hot_key_skew=0.8, seed=9
+        )
+        batched = ServingFrontend(
+            built_index.searcher, k=5, max_batch=32, max_wait_us=1500.0
+        ).run(heavy)
+        unbatched = ServingFrontend(
+            built_index.searcher, k=5, max_batch=1, max_wait_us=0.0
+        ).run(heavy)
+        assert (
+            batched.metrics()["goodput_qps"]
+            > unbatched.metrics()["goodput_qps"]
+        )
+
+
+class TestDeterminismAndConfig:
+    def _run_once(self):
+        rng = np.random.default_rng(77)
+        centers = rng.normal(scale=6.0, size=(4, DIM)).astype(np.float32)
+        assign = rng.integers(0, 4, size=300)
+        base = (
+            centers[assign] + rng.normal(scale=0.5, size=(300, DIM))
+        ).astype(np.float32)
+        config = SPFreshConfig(
+            dim=DIM,
+            max_posting_size=32,
+            min_posting_size=3,
+            build_target_posting_size=16,
+            ssd_blocks=1 << 13,
+            seed=7,
+        )
+        index = SPFreshIndex.build(base, config=config)
+        pool = (base[:32] + 0.01).astype(np.float32)
+        trace = make_arrival_trace(
+            pool, 300, 10_000.0, "bursty", hot_key_skew=0.6, seed=5
+        )
+        report = ServingFrontend.from_config(
+            index.searcher, config, k=5
+        ).run(trace)
+        payload = dict(report.metrics())
+        payload["per_tenant"] = {
+            str(t): m for t, m in report.per_tenant_metrics().items()
+        }
+        return json.dumps(payload, sort_keys=True)
+
+    def test_run_is_byte_deterministic(self):
+        assert self._run_once() == self._run_once()
+
+    def test_from_config_reads_serving_knobs(self, built_index):
+        config = SPFreshConfig(
+            dim=DIM,
+            serve_queue_capacity=17,
+            serve_max_batch=9,
+            serve_max_wait_us=123.0,
+            serve_slo_us=9999.0,
+            serve_admission_wait_budget_us=4567.0,
+        )
+        fe = ServingFrontend.from_config(built_index.searcher, config, k=5)
+        assert fe.admission.queue_capacity == 17
+        assert fe.batcher.max_batch == 9
+        assert fe.batcher.max_wait_us == 123.0
+        assert fe.slo_us == 9999.0
+        assert fe.admission.wait_budget_us == 4567.0
+
+    def test_from_config_overrides_win(self, built_index, small_config):
+        fe = ServingFrontend.from_config(
+            built_index.searcher, small_config, k=5, max_batch=3
+        )
+        assert fe.batcher.max_batch == 3
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            {"serve_queue_capacity": 0},
+            {"serve_max_batch": 0},
+            {"serve_max_wait_us": -1.0},
+            {"serve_slo_us": 0.0},
+            {"serve_admission_wait_budget_us": 0.0},
+        ],
+    )
+    def test_config_validation(self, bad):
+        with pytest.raises(ConfigError):
+            SPFreshConfig(dim=DIM, **bad).validate()
