@@ -3,16 +3,20 @@
 * :func:`build_spann_plus` — SPANN+ : the append-only SPFresh variant with
   the Local Rebuilder disabled (no split / merge / reassign);
 * :class:`repro.baselines.diskann.FreshDiskANNIndex` — the graph-based
-  out-of-place-update comparator (Vamana + PQ + streamingMerge).
+  out-of-place-update comparator (Vamana + PQ + streamingMerge);
+* :class:`repro.baselines.flat.FlatIndex` — exact brute-force oracle for
+  differential testing (no approximation, no latency model).
 """
 
 from repro.baselines.spann_plus import build_spann_plus
 from repro.baselines.diskann import DiskANNConfig, FreshDiskANNIndex
+from repro.baselines.flat import FlatIndex
 from repro.baselines.vearch import VearchLikeIndex
 
 __all__ = [
     "build_spann_plus",
     "DiskANNConfig",
+    "FlatIndex",
     "FreshDiskANNIndex",
     "VearchLikeIndex",
 ]

@@ -1,0 +1,62 @@
+"""Exact brute-force index: the differential-testing oracle.
+
+``FlatIndex`` keeps every live vector in a plain ``id → vector`` map and
+answers top-k by scanning all of them with the same ``sq_l2_batch`` kernel
+the engine uses. It has no postings, no tiers, no tombstones and no
+latency model — which is precisely why it is trustworthy: any divergence
+between it and :class:`~repro.core.index.SPFreshIndex` run over the same
+insert/delete/search interleaving is an engine bug, not an oracle bug.
+``tests/test_fresh_tier.py`` runs it in lockstep against the fresh-tier
+write path, including mid-flush states.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.distance import as_vector, sq_l2_batch
+
+
+class FlatIndex:
+    """Minimal exact k-NN index over an explicit vector map."""
+
+    def __init__(self, dim: int) -> None:
+        if dim <= 0:
+            raise ValueError("dim must be positive")
+        self.dim = int(dim)
+        self._vectors: dict[int, np.ndarray] = {}
+
+    # ------------------------------------------------------------------
+    def insert(self, vector_id: int, vector: np.ndarray) -> None:
+        self._vectors[int(vector_id)] = as_vector(vector, self.dim).copy()
+
+    def delete(self, vector_id: int) -> bool:
+        return self._vectors.pop(int(vector_id), None) is not None
+
+    def __len__(self) -> int:
+        return len(self._vectors)
+
+    def __contains__(self, vector_id: int) -> bool:
+        return int(vector_id) in self._vectors
+
+    def ids(self) -> np.ndarray:
+        return np.array(sorted(self._vectors), dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    def search(self, query: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
+        """Exact top-k ``(ids, distances)``, distance- then id-ordered.
+
+        Ties on distance break toward the smaller id, which makes the
+        oracle's output deterministic regardless of insertion order.
+        """
+        query = as_vector(query, self.dim)
+        if not self._vectors or k <= 0:
+            return (
+                np.empty(0, dtype=np.int64),
+                np.empty(0, dtype=np.float32),
+            )
+        ids = self.ids()
+        matrix = np.stack([self._vectors[int(v)] for v in ids])
+        dists = sq_l2_batch(query, matrix)
+        order = np.argsort(dists, kind="stable")[: min(k, len(ids))]
+        return ids[order], dists[order]

@@ -64,6 +64,14 @@ class CrashMatrixConfig:
     max_device_points: int | None = None
     search_checks: int = 4  # oracle recall probes per trial
     search_k: int = 5
+    # Fresh-tier mode: inserts buffer in RAM and reach disk via batched
+    # flushes (docs/fresh-tier.md), so the durability contract leans
+    # entirely on the WAL. Every device op inside a flush span is crashed
+    # explicitly (on top of the stride) to prove acked-but-unflushed
+    # inserts survive a crash at any point of the tier drain.
+    fresh_tier: bool = False
+    fresh_flush_threshold: int = 10
+    flush_stride: int = 1  # crash at every Nth device op inside a flush
 
     def index_config(self) -> SPFreshConfig:
         return SPFreshConfig(
@@ -76,6 +84,8 @@ class CrashMatrixConfig:
             reassign_range=6,
             seed=self.seed,
             centroid_index_kind="brute",
+            enable_fresh_tier=self.fresh_tier,
+            fresh_flush_threshold=self.fresh_flush_threshold,
         )
 
 
@@ -239,12 +249,20 @@ def _build_base(config: CrashMatrixConfig) -> tuple[_BaseState, list[_Op]]:
 # trial execution
 # ----------------------------------------------------------------------
 def _live_ids(index: SPFreshIndex) -> set[int]:
-    """Vector ids with at least one live on-disk replica."""
+    """Vector ids with a live replica on disk or buffered in the fresh tier.
+
+    After a fresh-tier recovery, WAL replay legitimately lands acked
+    inserts back in the memory tier rather than in a posting; they count
+    as durable because the (replayed) WAL still holds them.
+    """
     out: set[int] = set()
     for pid in index.controller.posting_ids():
         data, _ = index.controller.get(pid)
         live = live_view(data, index.version_map)
         out.update(int(v) for v in live.ids)
+    if index.fresh_tier is not None and len(index.fresh_tier) > 0:
+        tier_ids, _ = index.fresh_tier.live_snapshot()
+        out.update(int(v) for v in tier_ids)
     return out
 
 
@@ -285,6 +303,7 @@ def _run_trial(
             vectors_by_vid[op.vector_id] = op.vector
         op_start = device.op_index
         splits_before = index.stats.splits
+        flushes_before = index.stats.fresh_flushes
         if collect is not None:
             collect.wal_index.append(wal_appends if op.kind != "checkpoint" else -1)
         try:
@@ -310,7 +329,11 @@ def _run_trial(
         trial.acked_ops += 1
         if collect is not None:
             phase = op.kind
-            if op.kind == "insert" and index.stats.splits > splits_before:
+            if op.kind == "insert" and index.stats.fresh_flushes > flushes_before:
+                # A threshold flush drained inside this insert: its device
+                # ops are the batched tier → posting appends.
+                phase = "flush"
+            elif op.kind == "insert" and index.stats.splits > splits_before:
                 phase = "split"
             elif op.kind == "checkpoint":
                 phase = "snapshot"
@@ -400,8 +423,17 @@ def run_crash_matrix(config: CrashMatrixConfig | None = None) -> CrashMatrixRepo
     report.trials.append(control)
     report.device_ops = census.total_device_ops
 
-    # 1. Crash at every Nth device operation.
+    # 1. Crash at every Nth device operation. In fresh-tier mode every
+    # device op inside a flush span is added explicitly (deduplicated
+    # against the stride) so flush interiors get full coverage even under
+    # the reduced strides the CI lane uses.
     device_points = list(range(0, census.total_device_ops, config.device_stride))
+    if config.fresh_tier:
+        covered = set(device_points)
+        for start, end, phase in census.spans:
+            if phase == "flush":
+                covered.update(range(start, end, max(config.flush_stride, 1)))
+        device_points = sorted(covered)
     if config.max_device_points is not None:
         device_points = device_points[: config.max_device_points]
     for crash_op in device_points:
@@ -454,6 +486,11 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--device-stride", type=int, default=1)
     parser.add_argument("--wal-stride", type=int, default=4)
     parser.add_argument("--max-device-points", type=int, default=None)
+    parser.add_argument(
+        "--fresh-tier",
+        action="store_true",
+        help="enable the LSM-style memory tier and crash inside flushes",
+    )
     args = parser.parse_args(argv)
     report = run_crash_matrix(
         CrashMatrixConfig(
@@ -462,6 +499,7 @@ def main(argv: list[str] | None = None) -> int:
             device_stride=args.device_stride,
             wal_stride=args.wal_stride,
             max_device_points=args.max_device_points,
+            fresh_tier=args.fresh_tier,
         )
     )
     print(report.summary())

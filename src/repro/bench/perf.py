@@ -384,6 +384,180 @@ def scenario_rebalance(scale: PerfScale, seed: int) -> ScenarioResult:
     )
 
 
+def scenario_fresh_tier(scale: PerfScale, seed: int) -> ScenarioResult:
+    """Insert-storm write amplification with vs. without the memory tier.
+
+    The same seeded hot-cluster storm is driven through two indexes built
+    from the same base set: a baseline (classic per-insert posting append)
+    and one with the LSM-style fresh tier enabled (inserts buffer in RAM,
+    a flush batch-appends every ``fresh_flush_threshold`` vectors — see
+    docs/fresh-tier.md). Gated metrics cover the write-amplification win,
+    insert-latency percentiles before/after, recall at the regular probe
+    width for both runs, and two zero-tolerance parity counters measured
+    on the fresh index with a partially resident tier: batched vs. single
+    search, and tier-resident vs. eagerly-flushed search (both must be
+    bit-identical, so the expected value is 0).
+    """
+    dataset = make_sift_like(
+        max(scale.base_vectors // 2, 200), 0, dim=scale.dim, seed=seed
+    )
+    base_n = len(dataset.base)
+    hot_center = dataset.cluster_centers[0]
+    # Sub-threshold tail inserted after the measured storm so the parity
+    # sweep always sees a non-empty tier regardless of scale.
+    tail = 24
+    threshold = 64
+
+    def storm_vectors() -> np.ndarray:
+        rng = np.random.default_rng(seed + 5)
+        return (
+            hot_center
+            + rng.normal(scale=0.25, size=(scale.storm_inserts + tail, scale.dim))
+        ).astype(np.float32)
+
+    def run(enable_tier: bool):
+        # Tight posting geometry so the storm crosses split thresholds the
+        # way the update/rebalance scenarios do; no search budget so the
+        # parity sweeps scan everything they probe.
+        config = _base_config(
+            scale,
+            seed,
+            max_posting_size=48,
+            min_posting_size=4,
+            build_target_posting_size=24,
+            search_latency_budget_us=None,
+            enable_fresh_tier=enable_tier,
+            fresh_flush_threshold=threshold,
+        )
+        index = SPFreshIndex.build(dataset.base, config=config)
+        vectors = storm_vectors()
+        stats_before = index.stats.snapshot()
+        io_before = index.ssd.stats.snapshot()
+        wall_start = time.perf_counter()
+        latencies = [
+            index.insert(4_000_000 + i, vectors[i])
+            for i in range(scale.storm_inserts)
+        ]
+        index.drain()
+        wall = time.perf_counter() - wall_start
+        window = index.ssd.stats.since(io_before)
+        # The tail rides outside the measured window: it stays buffered in
+        # the fresh run (below threshold) and lands on disk in the baseline,
+        # keeping the two live sets identical for the recall sweep.
+        for i in range(scale.storm_inserts, len(vectors)):
+            index.insert(4_000_000 + i, vectors[i])
+        index.drain()
+        delta = index.stats.snapshot().delta(stats_before)
+        return index, config, latencies, window, delta, wall
+
+    base_index, config, base_lat, base_window, base_delta, base_wall = run(False)
+    fresh_index, _, fresh_lat, fresh_window, fresh_delta, fresh_wall = run(True)
+
+    # Recall at the regular probe width over the identical live sets.
+    queries = _queries(dataset, scale, seed)
+    all_vectors = np.concatenate([dataset.base, storm_vectors()])
+    all_ids = np.concatenate(
+        [
+            np.arange(base_n, dtype=np.int64),
+            4_000_000 + np.arange(scale.storm_inserts + tail, dtype=np.int64),
+        ]
+    )
+    truth = exact_knn(all_vectors, all_ids, queries, scale.k)
+    base_ids = [
+        base_index.search(q, scale.k, nprobe=scale.nprobe).ids for q in queries
+    ]
+    fresh_ids = [
+        fresh_index.search(q, scale.k, nprobe=scale.nprobe).ids for q in queries
+    ]
+
+    # Parity sweeps on the fresh index: full probe, exact merge, tier still
+    # partially resident. Mismatches gate at zero.
+    rng = np.random.default_rng(seed + 6)
+    parity_queries = np.concatenate(
+        [
+            queries[:16],
+            (hot_center + rng.normal(scale=0.3, size=(16, scale.dim))).astype(
+                np.float32
+            ),
+        ]
+    )
+    tier_resident = len(fresh_index.fresh_tier)
+    pre = [
+        fresh_index.search(q, scale.k, nprobe=10**6) for q in parity_queries
+    ]
+    batched = fresh_index.search_batch(parity_queries, scale.k, nprobe=10**6)
+    batch_single_mismatches = sum(
+        1
+        for s, b in zip(pre, batched)
+        if not (
+            np.array_equal(s.ids, b.ids)
+            and np.array_equal(s.distances, b.distances)
+        )
+    )
+    flushed_for_parity = fresh_index.flush_fresh_tier()
+    post = [
+        fresh_index.search(q, scale.k, nprobe=10**6) for q in parity_queries
+    ]
+    search_parity_mismatches = sum(
+        1
+        for s, p in zip(pre, post)
+        if not (
+            np.array_equal(s.ids, p.ids)
+            and np.array_equal(s.distances, p.distances)
+        )
+    )
+
+    inserted_bytes = scale.storm_inserts * scale.dim * 4
+    base_amp = base_window.write_amplification(inserted_bytes)
+    fresh_amp = fresh_window.write_amplification(inserted_bytes)
+    deterministic = {
+        "baseline_write_amplification": _round(base_amp),
+        "fresh_write_amplification": _round(fresh_amp),
+        "fresh_write_amp_speedup": _round(
+            base_amp / fresh_amp if fresh_amp > 0 else 0.0
+        ),
+        **percentile_metrics(base_lat, "baseline_insert_latency_us"),
+        **percentile_metrics(fresh_lat, "fresh_insert_latency_us"),
+        "baseline_recall_at_k": _round(
+            recall_at_k(base_ids, truth, scale.k), 4
+        ),
+        "fresh_recall_at_k": _round(recall_at_k(fresh_ids, truth, scale.k), 4),
+        "search_parity_mismatches": float(search_parity_mismatches),
+        "batch_single_mismatches": float(batch_single_mismatches),
+        "tier_resident_at_sweep": float(tier_resident),
+        "parity_flush_vectors": float(flushed_for_parity),
+        "fresh_flushes": float(fresh_delta.fresh_flushes),
+        "fresh_flushed_vectors": float(fresh_delta.fresh_flushed_vectors),
+        "fresh_flush_appends": float(fresh_delta.fresh_flush_appends),
+        "baseline_appends": float(base_delta.appends),
+        "fresh_appends": float(fresh_delta.appends),
+        "baseline_splits": float(base_delta.splits),
+        "fresh_splits": float(fresh_delta.splits),
+        **base_window.to_metrics("baseline_io"),
+        **fresh_window.to_metrics("fresh_io"),
+    }
+    wall_clock = {
+        "baseline_storm_ops_per_s": _round(
+            scale.storm_inserts / base_wall if base_wall > 0 else 0.0
+        ),
+        "fresh_storm_ops_per_s": _round(
+            scale.storm_inserts / fresh_wall if fresh_wall > 0 else 0.0
+        ),
+    }
+    return ScenarioResult(
+        scenario="fresh_tier",
+        config={
+            **_scenario_config(scale, seed, config),
+            "storm_inserts": scale.storm_inserts,
+            "tail_inserts": tail,
+            "fresh_flush_threshold": threshold,
+            "parity_queries": len(parity_queries),
+        },
+        deterministic=deterministic,
+        wall_clock=wall_clock,
+    )
+
+
 def scenario_recovery(scale: PerfScale, seed: int) -> ScenarioResult:
     """WAL append cost plus snapshot + WAL-replay recovery after a restart."""
     dataset = make_sift_like(
@@ -706,6 +880,7 @@ SCENARIOS = {
     "search": scenario_search,
     "update": scenario_update,
     "rebalance": scenario_rebalance,
+    "fresh_tier": scenario_fresh_tier,
     "recovery": scenario_recovery,
     "cache": scenario_cache,
     "throughput": scenario_throughput,
@@ -775,6 +950,8 @@ def run_markdown_summary(results: list[ScenarioResult]) -> str:
         "insert_latency_us_p99.9",
         "cached_latency_us_p50",
         "single_recall_at_k",
+        "fresh_write_amp_speedup",
+        "search_parity_mismatches",
         "cache_hit_rate",
         "goodput_qps",
         "slo_violation_rate",

@@ -9,10 +9,12 @@ Module map (paper section in parentheses):
 * :mod:`repro.core.updater` — foreground in-place Updater (§4.1)
 * :mod:`repro.core.rebuilder` — background Local Rebuilder (§4.2)
 * :mod:`repro.core.index` — :class:`SPFreshIndex`, the public API (§4)
+* :mod:`repro.core.fresh_tier` — LSM-style in-memory write tier
 * :mod:`repro.core.recovery` — snapshot + WAL crash recovery (§4.4)
 """
 
 from repro.core.config import SPFreshConfig
+from repro.core.fresh_tier import FreshTier
 from repro.core.index import SPFreshIndex, SearchResult
 from repro.core.stats import LireStats
 from repro.core.version_map import VersionMap
@@ -20,6 +22,7 @@ from repro.core.maintenance import MaintenanceScanner, ScanReport
 from repro.core.autotune import TuneResult, tune_nprobe
 
 __all__ = [
+    "FreshTier",
     "SPFreshConfig",
     "SPFreshIndex",
     "SearchResult",

@@ -76,6 +76,16 @@ class SPFreshConfig:
     background_workers: int = 2
     synchronous_rebuild: bool = True  # run LIRE jobs inline (deterministic)
 
+    # --- fresh tier (LSM-style memory tier, docs/fresh-tier.md) ---
+    # Inserts land in an in-memory tier searched alongside the disk index;
+    # a background flush batch-appends them to postings (one tail-block
+    # rewrite per posting per flush) and runs LIRE once per flush instead
+    # of once per insert. Off by default: the classic per-insert append
+    # path stays bit-identical to earlier revisions.
+    enable_fresh_tier: bool = False
+    fresh_flush_threshold: int = 128  # buffered vectors that trigger a flush
+    fresh_insert_cpu_us: float = 2.0  # modelled cost of a tier insert
+
     # --- serving front-end (repro.serving, docs/serving.md) ---
     serve_queue_capacity: int = 256  # bounded request queue depth
     serve_max_batch: int = 32  # dynamic batcher size trigger
@@ -127,6 +137,10 @@ class SPFreshConfig:
             )
         if self.enable_reassign and not self.enable_split:
             raise ConfigError("enable_reassign requires enable_split")
+        if self.fresh_flush_threshold < 1:
+            raise ConfigError("fresh_flush_threshold must be at least 1")
+        if self.fresh_insert_cpu_us < 0:
+            raise ConfigError("fresh_insert_cpu_us must be non-negative")
         if self.serve_queue_capacity < 1:
             raise ConfigError("serve_queue_capacity must be at least 1")
         if self.serve_max_batch < 1:

@@ -22,8 +22,9 @@ import numpy as np
 
 from repro.centroids import make_centroid_index
 from repro.core.config import SPFreshConfig
+from repro.core.fresh_tier import FreshTier
 from repro.core.ids import IdAllocator
-from repro.core.jobs import JobQueue, MergeJob, PostingLockManager
+from repro.core.jobs import FlushJob, JobQueue, MergeJob, PostingLockManager
 from repro.core.rebuilder import LocalRebuilder
 from repro.core.stats import LireStats
 from repro.core.updater import Updater
@@ -71,6 +72,13 @@ class SPFreshIndex:
         # where wall-clock time went across search, storage and rebuilds.
         self.profiler = Profiler(enabled=config.enable_profiling)
         controller.profiler = self.profiler
+        # LSM-style memory tier for fresh writes (docs/fresh-tier.md).
+        # None when disabled so every component keeps the classic path.
+        self.fresh_tier = (
+            FreshTier(config.dim, version_map)
+            if config.enable_fresh_tier
+            else None
+        )
         self.updater = Updater(
             centroid_index,
             controller,
@@ -82,6 +90,7 @@ class SPFreshIndex:
             posting_ids,
             wal=wal,
             profiler=self.profiler,
+            fresh_tier=self.fresh_tier,
         )
         self.rebuilder = LocalRebuilder(
             centroid_index,
@@ -94,6 +103,7 @@ class SPFreshIndex:
             posting_ids,
             rng=np.random.default_rng(config.seed + 1),
             profiler=self.profiler,
+            fresh_tier=self.fresh_tier,
         )
         self.searcher = SpannSearcher(
             centroid_index,
@@ -106,6 +116,7 @@ class SPFreshIndex:
             min_posting_size=config.min_posting_size,
             prune_epsilon=config.search_prune_epsilon,
             profiler=self.profiler,
+            fresh_tier=self.fresh_tier,
         )
         self._background_running = False
         # Populated by restore_index() after a crash recovery; None for a
@@ -287,6 +298,20 @@ class SPFreshIndex:
             return 0
         return self.rebuilder.drain()
 
+    def flush_fresh_tier(self, max_vectors: int | None = None) -> int:
+        """Flush buffered fresh-tier vectors to postings now.
+
+        Returns the number of vectors moved to disk. A no-op (returning 0)
+        when the tier is disabled or empty. ``max_vectors`` bounds one
+        flush — tests use it to park the index mid-flush.
+        """
+        if self.fresh_tier is None or len(self.fresh_tier) == 0:
+            return 0
+        before = self.stats.fresh_flushed_vectors
+        self.job_queue.put(FlushJob(max_vectors=max_vectors))
+        self.drain()
+        return self.stats.fresh_flushed_vectors - before
+
     # ------------------------------------------------------------------
     # maintenance / introspection
     # ------------------------------------------------------------------
@@ -312,6 +337,10 @@ class SPFreshIndex:
         """Take a crash-consistent snapshot and truncate the WAL (§4.4)."""
         if self.snapshots is None:
             raise ValueError("index was created without a SnapshotManager")
+        # The snapshot captures only disk-resident postings, so buffered
+        # fresh-tier rows must land on disk before the WAL (their only
+        # durable record) is truncated.
+        self.flush_fresh_tier()
         self.drain()
         from repro.core.recovery import collect_state
 
@@ -365,12 +394,16 @@ class SPFreshIndex:
         )
 
     def memory_bytes(self) -> int:
-        """Modelled DRAM footprint: centroids + version map + block mapping."""
-        return (
+        """Modelled DRAM footprint: centroids + version map + block mapping
+        (+ buffered fresh-tier rows when the tier is enabled)."""
+        total = (
             self.centroid_index.memory_bytes()
             + self.version_map.memory_bytes()
             + self.controller.mapping_memory_bytes()
         )
+        if self.fresh_tier is not None:
+            total += self.fresh_tier.memory_bytes()
+        return total
 
     def replica_histogram(self) -> dict[int, int]:
         """Live replica count distribution across postings (§5.2.2 stat)."""

@@ -7,7 +7,12 @@ queue drains:
 
 * **conservation** — every live vector id in the version map has at least
   one on-disk replica stored at its *current* version (nothing lost, no
-  ghosts in the map);
+  ghosts in the map); with the fresh tier enabled, a current-version row
+  buffered in the tier counts as that replica — vectors in flight between
+  tier and postings (mid-flush) may legitimately appear in both places,
+  but must appear in at least one;
+* **tier hygiene** — the fresh tier holds no deleted or version-stale
+  rows (deletes discard eagerly; flushes drop stale rows);
 * **size bounds** — no posting exceeds ``max_posting_size`` (splits kept
   up with appends; only checked when splits are enabled and the queue is
   drained);
@@ -51,6 +56,8 @@ class InvariantReport:
     npa_checked: int = 0
     npa_violations: list[int] = field(default_factory=list)
     npa_allowance: int = 0
+    fresh_tier_vectors: int = 0  # live rows buffered in the fresh tier
+    stale_tier_entries: list[int] = field(default_factory=list)
 
     @property
     def failures(self) -> list[str]:
@@ -73,6 +80,11 @@ class InvariantReport:
         if self.centroids_without_posting:
             out.append(
                 f"centroids without posting: {self.centroids_without_posting[:5]}"
+            )
+        if self.stale_tier_entries:
+            out.append(
+                f"{len(self.stale_tier_entries)} deleted/stale rows still "
+                f"buffered in the fresh tier (e.g. {self.stale_tier_entries[:5]})"
             )
         if len(self.npa_violations) > self.npa_allowance:
             out.append(
@@ -161,8 +173,25 @@ def check_invariants(
         if int(pid) not in existing:
             report.centroids_without_posting.append(int(pid))
 
+    # Fresh-tier conservation: a current-version row buffered in the tier
+    # is a live replica of its vector (the WAL keeps it durable), so ids
+    # in flight between tier and postings are not "lost". Rows the version
+    # map considers dead have no business staying buffered.
+    tier_ids: set[int] = set()
+    tier = getattr(index, "fresh_tier", None)
+    if tier is not None and len(tier) > 0:
+        t_ids, t_versions, _ = tier.entries()
+        live_rows = index.version_map.live_mask(t_ids, t_versions)
+        tier_ids = {int(v) for v in t_ids[live_rows]}
+        report.fresh_tier_vectors = len(tier_ids)
+        report.stale_tier_entries = sorted(
+            int(v) for v in t_ids[~live_rows]
+        )
+
     report.lost_vectors = sorted(
-        int(v) for v in live_ids if int(v) not in replica_postings
+        int(v)
+        for v in live_ids
+        if int(v) not in replica_postings and int(v) not in tier_ids
     )
 
     # Sampled NPA: the nearest centroid's posting must hold a live copy,
@@ -171,7 +200,9 @@ def check_invariants(
     for vid in sorted(sampled):
         vector = sampled_vectors.get(vid)
         if vector is None:
-            continue  # already reported via lost_vectors
+            # No disk replica: either lost (reported above) or tier-only —
+            # a buffered row has no posting assignment to NPA-check yet.
+            continue
         hits = index.centroid_index.search(vector, 1)
         if len(hits) == 0:
             continue

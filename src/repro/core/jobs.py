@@ -58,6 +58,19 @@ class ReassignJob:
     attempts: int = 0
 
 
+@dataclass(frozen=True)
+class FlushJob:
+    """Drain the in-memory fresh tier into postings (docs/fresh-tier.md).
+
+    ``max_vectors`` bounds one flush (None drains the whole tier); tests
+    use it to park the index in a mid-flush state. The job snapshots the
+    tier at execution time, so one pending job absorbs any number of
+    inserts that arrive before it runs — hence the single-flag dedup.
+    """
+
+    max_vectors: int | None = None
+
+
 RebuildJob = object  # union alias for documentation purposes
 
 
@@ -78,6 +91,7 @@ class JobQueue:
         self._queue: "queue.Queue[object]" = queue.Queue()
         self._pending_splits: set[int] = set()
         self._pending_merges: set[int] = set()
+        self._flush_pending = False
         self._dedup_lock = threading.Lock()
         self.chaos: ChaosHook = chaos
 
@@ -95,6 +109,13 @@ class JobQueue:
                 if job.posting_id in self._pending_merges:
                     return False
                 self._pending_merges.add(job.posting_id)
+        elif isinstance(job, FlushJob):
+            # Every insert past the tier threshold re-requests a flush; one
+            # pending job drains everything buffered when it runs.
+            with self._dedup_lock:
+                if self._flush_pending:
+                    return False
+                self._flush_pending = True
         self._queue.put(job)
         return True
 
@@ -121,6 +142,9 @@ class JobQueue:
         elif isinstance(job, MergeJob):
             with self._dedup_lock:
                 self._pending_merges.discard(job.posting_id)
+        elif isinstance(job, FlushJob):
+            with self._dedup_lock:
+                self._flush_pending = False
         if chaos is not None:
             chaos("queue.got", getattr(job, "posting_id", None))
         return job

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.jobs import MergeJob, SplitJob
+from repro.core.jobs import FlushJob, MergeJob, SplitJob
 from repro.spann.postings import live_view
 from repro.util.errors import StalePostingError
 
@@ -26,12 +26,15 @@ class ScanReport:
     postings_scanned: int = 0
     merges_scheduled: int = 0
     splits_scheduled: int = 0
+    flushes_scheduled: int = 0
     gc_rewrites: int = 0
     dead_entries_seen: int = 0
 
     @property
     def jobs_scheduled(self) -> int:
-        return self.merges_scheduled + self.splits_scheduled
+        return (
+            self.merges_scheduled + self.splits_scheduled + self.flushes_scheduled
+        )
 
 
 class MaintenanceScanner:
@@ -51,6 +54,14 @@ class MaintenanceScanner:
         """One sweep over (up to ``max_postings``) postings."""
         report = ScanReport()
         config = self.index.config
+        # Inserts below fresh_flush_threshold would otherwise sit in the
+        # tier indefinitely (the updater only requests a flush at the
+        # threshold) — the scanner is the low-priority sweep that drains
+        # stragglers, the same policy it applies to untouched postings.
+        tier = getattr(self.index, "fresh_tier", None)
+        if tier is not None and len(tier) > 0:
+            if self.index.job_queue.put(FlushJob()):
+                report.flushes_scheduled += 1
         for pid in self.index.controller.posting_ids():
             if max_postings is not None and report.postings_scanned >= max_postings:
                 break

@@ -27,8 +27,10 @@ from repro.centroids.base import CentroidIndex
 from repro.clustering.balanced import split_in_two
 from repro.core.conditions import condition_one_mask, condition_two_mask
 from repro.core.config import SPFreshConfig
+from repro.core.fresh_tier import FreshTier
 from repro.core.ids import IdAllocator
 from repro.core.jobs import (
+    FlushJob,
     JobQueue,
     MergeJob,
     PostingLockManager,
@@ -60,6 +62,7 @@ class LocalRebuilder:
         posting_ids: IdAllocator,
         rng: np.random.Generator | None = None,
         profiler: Profiler | None = None,
+        fresh_tier: FreshTier | None = None,
     ) -> None:
         self.profiler = profiler or NULL_PROFILER
         self.centroid_index = centroid_index
@@ -71,8 +74,15 @@ class LocalRebuilder:
         self.config = config
         self.posting_ids = posting_ids
         self.rng = rng or np.random.default_rng(config.seed + 1)
+        self.fresh_tier = fresh_tier
         self.background_io_us = 0.0  # simulated device time spent by rebuilds
-        self.io_by_job = {"split": 0.0, "merge": 0.0, "reassign": 0.0, "other": 0.0}
+        self.io_by_job = {
+            "split": 0.0,
+            "merge": 0.0,
+            "reassign": 0.0,
+            "flush": 0.0,
+            "other": 0.0,
+        }
         self._current_job_kind = "other"
         self._workers: list[threading.Thread] = []
         self._stop = threading.Event()
@@ -97,6 +107,9 @@ class LocalRebuilder:
             elif isinstance(job, ReassignJob):
                 self._current_job_kind = "reassign"
                 self._run_reassign(job)
+            elif isinstance(job, FlushJob):
+                self._current_job_kind = "flush"
+                self._run_flush(job)
             else:
                 raise IndexError_(f"unknown rebuild job type: {type(job).__name__}")
             self.io_by_job[self._current_job_kind] += self.background_io_us - before
@@ -376,6 +389,120 @@ class LocalRebuilder:
                 f"reassign of vector {vid} could not place a copy anywhere"
             )
         self.stats.incr("reassign_executed")
+
+    # ------------------------------------------------------------------
+    # flush (fresh tier → postings, docs/fresh-tier.md)
+    # ------------------------------------------------------------------
+    def _run_flush(self, job: FlushJob) -> None:
+        """Batch-append buffered fresh-tier vectors to their postings.
+
+        The batch is grouped by target posting so each posting pays ONE
+        tail-block read-modify-write per flush regardless of how many
+        vectors land in it — the write-amplification win over per-insert
+        appends. Oversized postings schedule splits (and through them
+        reassigns) once per flush, which is LIRE's once-per-batch cadence.
+        A tier row is discarded only after its copy durably landed; a crash
+        mid-flush therefore loses nothing (the WAL replays the tier).
+        """
+        tier = self.fresh_tier
+        if tier is None:
+            return
+        self.stats.incr("fresh_flush_jobs")
+        batch = tier.take(job.max_vectors)
+        placed: set[int] = set()
+        flushed = 0
+        pending: dict[int, list[tuple[int, int, np.ndarray]]] = {}
+        for vid, version, vector in batch:
+            # Deleted (or concurrently re-versioned) rows never reach disk.
+            if (
+                self.version_map.is_deleted(vid)
+                or self.version_map.current_version(vid) != version
+            ):
+                tier.discard(vid)
+                continue
+            targets = self._route_fresh(vector)
+            if not targets:
+                # Flush into an empty index bootstraps the first posting,
+                # exactly like the Updater's first insert.
+                pid = self.posting_ids.next()
+                entry = PostingData.from_rows([vid], [version], vector)
+                self.background_io_us += self.controller.create(pid, entry)
+                self.centroid_index.add(pid, vector)
+                self.stats.incr("appends")
+                self.stats.incr("fresh_flush_appends")
+                placed.add(vid)
+                flushed += 1
+                tier.discard(vid)
+                continue
+            for pid in targets:
+                pending.setdefault(pid, []).append((vid, version, vector))
+        for pid in sorted(pending):
+            rows = pending[pid]
+            data = PostingData.from_rows(
+                [r[0] for r in rows],
+                [r[1] for r in rows],
+                np.stack([r[2] for r in rows]),
+            )
+            try:
+                with self.locks.hold(pid):
+                    if not self.controller.exists(pid):
+                        raise StalePostingError(f"posting {pid} vanished")
+                    self.background_io_us += self.controller.append(pid, data)
+                    length = self.controller.length(pid)
+            except StalePostingError:
+                self.stats.incr("reassign_posting_missing")
+                continue  # every row of this group retries individually below
+            self.stats.incr("appends", len(rows))
+            self.stats.incr("fresh_flush_appends")
+            for vid, _, _ in rows:
+                if vid not in placed:
+                    placed.add(vid)
+                    flushed += 1
+                tier.discard(vid)
+            if self.config.enable_split and length > self.config.max_posting_size:
+                self.job_queue.put(SplitJob(posting_id=pid))
+        for vid, version, vector in batch:
+            # Rows whose every target posting vanished mid-flush re-route
+            # one by one with the Updater's retry discipline.
+            if (
+                vid in placed
+                or self.version_map.is_deleted(vid)
+                or self.version_map.current_version(vid) != version
+            ):
+                continue
+            for _ in range(1 + self.config.max_reassign_retries):
+                hits = self.centroid_index.search(vector, 4)
+                if len(hits) == 0:
+                    break
+                if self._append_entry(vid, version, vector, [int(hits.nearest)]):
+                    self.stats.incr("appends")
+                    self.stats.incr("fresh_flush_appends")
+                    placed.add(vid)
+                    flushed += 1
+                    tier.discard(vid)
+                    break
+            if vid not in placed:
+                raise IndexError_(
+                    f"flush of vector {vid} kept racing with posting splits"
+                )
+        if flushed:
+            self.stats.incr("fresh_flushes")
+            self.stats.incr("fresh_flushed_vectors", flushed)
+
+    def _route_fresh(self, vector: np.ndarray) -> list[int]:
+        """Target posting(s) for a flushed vector (Updater's insert rule)."""
+        want = max(self.config.insert_replicas * 2, 4)
+        hits = self.centroid_index.search(vector, want)
+        if len(hits) == 0:
+            return []
+        if self.config.insert_replicas == 1:
+            return [int(hits.nearest)]
+        return select_replicas(
+            hits.posting_ids,
+            hits.distances,
+            self.config.insert_replicas,
+            self.config.closure_epsilon,
+        )
 
     def _centroid_or_none(self, pid: int):
         try:

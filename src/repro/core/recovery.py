@@ -43,6 +43,9 @@ class RecoveryReport:
     records_failed: int = 0  # records that errored while being re-applied
     bytes_quarantined: int = 0
     torn_tail_bytes: int = 0
+    # Replayed inserts still buffered in the fresh tier when recovery
+    # finished (fresh-tier indexes only; the WAL is their durable record).
+    records_in_fresh_tier: int = 0
 
     @property
     def clean(self) -> bool:
@@ -61,7 +64,8 @@ class RecoveryReport:
             f"{self.records_quarantined} quarantined "
             f"({self.bytes_quarantined} bytes), "
             f"{self.records_failed} failed to apply, "
-            f"{self.torn_tail_bytes} torn tail bytes"
+            f"{self.torn_tail_bytes} torn tail bytes, "
+            f"{self.records_in_fresh_tier} resident in the fresh tier"
         )
 
 
@@ -138,10 +142,14 @@ def _replay_wal(index, wal: WriteAheadLog, report: RecoveryReport) -> None:
     """Re-apply logged updates on top of the restored snapshot.
 
     Replay calls the normal Updater paths with logging disabled so a
-    recovery does not re-log its own replay. Inserts of ids the snapshot
-    already saw live are skipped (they were logged before the snapshot
-    landed but the snapshot includes them — possible because checkpoint
-    truncates the WAL *after* persisting). Corrupt records are quarantined
+    recovery does not re-log its own replay — on a fresh-tier index the
+    replayed inserts therefore land back in the in-memory tier, exactly
+    where they lived before the crash (docs/fresh-tier.md); this is how
+    tier contents survive: the WAL is their only durable record. Inserts
+    of ids the snapshot already saw live are skipped (they were logged
+    before the snapshot landed but the snapshot includes them — possible
+    because checkpoint flushes the tier, then truncates the WAL *after*
+    persisting). Corrupt records are quarantined
     by the WAL itself; a record that fails while being re-applied is
     counted and skipped rather than aborting the whole recovery — one bad
     update must not take down every good one behind it.
@@ -164,6 +172,8 @@ def _replay_wal(index, wal: WriteAheadLog, report: RecoveryReport) -> None:
         except (ReproError, ValueError):
             report.records_failed += 1
     index.drain()
+    if index.fresh_tier is not None:
+        report.records_in_fresh_tier = len(index.fresh_tier)
     report.records_quarantined = wal_report.records_quarantined
     report.bytes_quarantined = wal_report.bytes_quarantined
     report.torn_tail_bytes = wal_report.torn_tail_bytes

@@ -31,6 +31,13 @@ class StatsSnapshot:
     reassign_aborted_npa: int = 0
     reassign_posting_missing: int = 0
     split_cascade_max_depth: int = 0
+    # Fresh tier (LSM-style memory tier, docs/fresh-tier.md).
+    fresh_inserts: int = 0  # inserts absorbed by the tier
+    fresh_discards: int = 0  # tier rows dropped by deletes
+    fresh_flush_jobs: int = 0
+    fresh_flushes: int = 0  # flush jobs that moved at least one vector
+    fresh_flushed_vectors: int = 0
+    fresh_flush_appends: int = 0  # grouped posting appends issued by flushes
     # Concurrency-correctness layer (lock lifecycle, chaos harness).
     lock_recycles: int = 0
     chaos_yields: int = 0

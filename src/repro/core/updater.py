@@ -13,8 +13,9 @@ import numpy as np
 
 from repro.centroids.base import CentroidIndex
 from repro.core.config import SPFreshConfig
+from repro.core.fresh_tier import FreshTier
 from repro.core.ids import IdAllocator
-from repro.core.jobs import JobQueue, PostingLockManager, SplitJob
+from repro.core.jobs import FlushJob, JobQueue, PostingLockManager, SplitJob
 from repro.core.stats import LireStats
 from repro.core.version_map import VersionMap
 from repro.metrics.profiling import NULL_PROFILER, Profiler
@@ -41,6 +42,7 @@ class Updater:
         posting_ids: IdAllocator,
         wal: WriteAheadLog | None = None,
         profiler: Profiler | None = None,
+        fresh_tier: FreshTier | None = None,
     ) -> None:
         self.centroid_index = centroid_index
         self.controller = controller
@@ -52,6 +54,7 @@ class Updater:
         self.posting_ids = posting_ids
         self.wal = wal
         self.profiler = profiler or NULL_PROFILER
+        self.fresh_tier = fresh_tier
 
     # ------------------------------------------------------------------
     def insert(self, vector_id: int, vector: np.ndarray, log: bool = True) -> float:
@@ -60,7 +63,13 @@ class Updater:
         The vector is appended to its nearest posting (plus boundary
         replicas when ``insert_replicas > 1``). A posting deleted by a
         concurrent split triggers a re-route rather than a failure.
+
+        With the fresh tier enabled the vector is buffered in memory
+        instead (after WAL logging, so the ack stays durable) and reaches
+        disk via the next batch flush (docs/fresh-tier.md).
         """
+        if self.fresh_tier is not None:
+            return self._insert_fresh(vector_id, vector, log)
         with self.profiler.section("update"):
             vector = as_vector(vector, self.config.dim)
             if log and self.wal is not None:
@@ -95,6 +104,20 @@ class Updater:
             f"insert of vector {vector_id} kept racing with posting splits"
         )
 
+    def _insert_fresh(self, vector_id: int, vector: np.ndarray, log: bool) -> float:
+        """Buffer an insert in the fresh tier (WAL first: log *is* the ack)."""
+        with self.profiler.section("update"):
+            vector = as_vector(vector, self.config.dim)
+            if log and self.wal is not None:
+                self.wal.log_insert(vector_id, vector)
+            version = self.version_map.register(vector_id)
+            self.fresh_tier.add(vector_id, vector, version)
+            self.stats.incr("inserts")
+            self.stats.incr("fresh_inserts")
+            if len(self.fresh_tier) >= self.config.fresh_flush_threshold:
+                self.job_queue.put(FlushJob())
+            return self.config.fresh_insert_cpu_us
+
     def delete(self, vector_id: int, log: bool = True) -> float:
         """Tombstone a vector; actual removal happens lazily during GC."""
         with self.profiler.section("update"):
@@ -102,6 +125,10 @@ class Updater:
                 self.wal.log_delete(vector_id)
             if self.version_map.delete(vector_id):
                 self.stats.incr("deletes")
+            # A buffered copy dies immediately: the tombstone already masks
+            # any disk-resident duplicates of the same id.
+            if self.fresh_tier is not None and self.fresh_tier.discard(vector_id):
+                self.stats.incr("fresh_discards")
             # Tombstones touch only the in-memory map: negligible latency.
             return 1.0
 

@@ -31,14 +31,19 @@ def dedup_top_k(
     can surface the same id multiple times; only the closest instance (they
     are identical vectors, so equal distances) must be kept.
 
-    ``max_dup`` is an optional upper bound on how many times one id can
-    occur (the searcher passes the number of postings probed — a live id
-    appears at most once per posting). When set, candidates strictly worse
-    than the ``k * max_dup``-th smallest distance are dropped with a cheap
-    partition before the full sort: the top ``k * max_dup`` candidates span
-    at least ``k`` distinct ids, every id in the true answer keeps its best
-    occurrence (ties at the cutoff are retained), and the survivors keep
-    their original order — so the result is identical to ``max_dup=None``.
+    ``max_dup`` is an optional *estimate* of how many times one id can
+    occur (the searcher passes the number of candidate arrays — a live id
+    usually appears at most once per posting). When set, candidates
+    strictly worse than the ``k * max_dup``-th smallest distance are
+    dropped with a cheap partition before the full sort: the surviving
+    prefix normally spans at least ``k`` distinct ids, every id in the
+    true answer keeps its best occurrence (ties at the cutoff are
+    retained), and the result is identical to ``max_dup=None``. The
+    estimate can undercount — a merge may co-locate two live boundary
+    replicas of the same id in one posting — so when the capped prefix
+    comes up with fewer than ``k`` unique ids the computation falls back
+    to the uncapped exact path, keeping the prefilter an optimization
+    rather than a correctness assumption.
     """
     if len(ids) == 0 or k <= 0:
         return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float32)
@@ -48,8 +53,19 @@ def dedup_top_k(
             kth = np.partition(distances, cap - 1)[cap - 1]
             if np.isfinite(kth):
                 keep = distances <= kth
-                ids = ids[keep]
-                distances = distances[keep]
+                top_ids, top_dists = _exact_dedup_top_k(
+                    ids[keep], distances[keep], k
+                )
+                if len(top_ids) == k:
+                    # The prefix held k distinct ids, so every id of the
+                    # true answer kept its best occurrence — exact result.
+                    return top_ids, top_dists
+    return _exact_dedup_top_k(ids, distances, k)
+
+
+def _exact_dedup_top_k(
+    ids: np.ndarray, distances: np.ndarray, k: int
+) -> tuple[np.ndarray, np.ndarray]:
     order = np.argsort(distances, kind="stable")
     ids_sorted = ids[order]
     dists_sorted = distances[order]

@@ -40,6 +40,7 @@ class SearchResult:
     io_latency_us: float = 0.0
     truncated: bool = False
     undersized_postings: list[int] = field(default_factory=list)
+    fresh_entries_scanned: int = 0  # in-memory tier rows merged into top-k
 
     def __len__(self) -> int:
         return len(self.ids)
@@ -61,6 +62,7 @@ class SpannSearcher:
         min_posting_size: int = 0,
         prune_epsilon: float | None = None,
         profiler: Profiler | None = None,
+        fresh_tier=None,
     ) -> None:
         self.centroid_index = centroid_index
         self.controller = controller
@@ -75,22 +77,30 @@ class SpannSearcher:
         # whose centroid distance exceeds (1 + eps) x the nearest centroid
         # distance — easy queries touch fewer postings. None disables.
         self.prune_epsilon = prune_epsilon
+        # Optional in-memory fresh tier (repro.core.fresh_tier): its rows
+        # join the candidate pool as one extra pseudo-posting, scanned with
+        # the same kernels as disk postings so merged top-k stays exact.
+        self.fresh_tier = fresh_tier
 
     # ------------------------------------------------------------------
-    def _budget_prefix(self, posting_ids: list[int]) -> tuple[list[int], bool]:
+    def _budget_prefix(
+        self, posting_ids: list[int], extra_entries: int = 0
+    ) -> tuple[list[int], bool]:
         """Longest prefix of candidate postings that fits the latency budget.
 
         The projected cost mirrors the latency actually charged to the
         query: read waves for the cumulative blocks plus the fixed
         navigation CPU plus the per-entry scan CPU — so the truncation
-        decision and the reported latency agree.
+        decision and the reported latency agree. ``extra_entries`` seeds
+        the CPU term with work outside the probe list (the fresh-tier
+        scan), keeping that agreement when the tier is enabled.
         """
         if self.latency_budget_us is None:
             return posting_ids, False
         profile = self.controller.ssd.profile
         codec = self.controller.codec
         cum_blocks = 0
-        cum_entries = 0
+        cum_entries = extra_entries
         kept: list[int] = []
         for pid in posting_ids:
             try:
@@ -129,10 +139,15 @@ class SpannSearcher:
         """Return the approximate ``k`` nearest live vectors to ``query``."""
         query = as_vector(query, self.centroid_index.dim)
         nprobe = nprobe or self.default_nprobe
+        fresh_ids = fresh_matrix = None
+        fresh_entries = 0
+        if self.fresh_tier is not None and len(self.fresh_tier) > 0:
+            fresh_ids, fresh_matrix = self.fresh_tier.live_snapshot()
+            fresh_entries = len(fresh_ids)
         with self.profiler.section("navigate"):
             centroid_hits = self.centroid_index.search(query, nprobe)
         candidate_pids = self._prune(centroid_hits)
-        probe_pids, truncated = self._budget_prefix(candidate_pids)
+        probe_pids, truncated = self._budget_prefix(candidate_pids, fresh_entries)
         postings, io_latency = self.controller.parallel_get(probe_pids)
 
         all_ids: list[np.ndarray] = []
@@ -152,6 +167,13 @@ class SpannSearcher:
                     continue
                 all_ids.append(live.ids)
                 all_dists.append(sq_l2_batch(query, live.vectors))
+            if fresh_entries:
+                # The tier joins as one extra pseudo-posting, scanned with
+                # the identical kernel — the merged top-k is therefore
+                # bit-identical to a search over an eagerly flushed index.
+                all_ids.append(fresh_ids)
+                all_dists.append(sq_l2_batch(query, fresh_matrix))
+                entries_scanned += fresh_entries
 
         with self.profiler.section("topk"):
             if all_ids:
@@ -181,6 +203,7 @@ class SpannSearcher:
             io_latency_us=io_latency,
             truncated=truncated,
             undersized_postings=undersized,
+            fresh_entries_scanned=fresh_entries,
         )
 
     def _live_views(self, postings: list[tuple[int, object]]) -> dict[int, object]:
@@ -241,6 +264,16 @@ class SpannSearcher:
         if len(queries) == 0:
             return []
         nprobe = nprobe or self.default_nprobe
+        fresh_ids = fresh_rows = None
+        fresh_entries = 0
+        if self.fresh_tier is not None and len(self.fresh_tier) > 0:
+            fresh_ids, fresh_matrix = self.fresh_tier.live_snapshot()
+            fresh_entries = len(fresh_ids)
+            if fresh_entries:
+                # One fused kernel scores the tier against the whole batch;
+                # row q is bit-identical to the single-query tier scan.
+                with self.profiler.section("scan"):
+                    fresh_rows = pairwise_sq_l2_exact(queries, fresh_matrix)
         with self.profiler.section("navigate"):
             nav = self.centroid_index.search_batch(queries, nprobe)
         per_query_pids: list[list[int]] = []
@@ -304,6 +337,10 @@ class SpannSearcher:
                     continue
                 all_ids.append(ids_arr)
                 all_dists.append(rows[qi])
+            if fresh_entries:
+                all_ids.append(fresh_ids)
+                all_dists.append(fresh_rows[qi])
+                entries += fresh_entries
             with self.profiler.section("topk"):
                 if all_ids:
                     top_ids, top_dists = dedup_top_k(
@@ -325,6 +362,7 @@ class SpannSearcher:
                     entries_scanned=entries,
                     io_latency_us=io_latency,
                     undersized_postings=undersized,
+                    fresh_entries_scanned=fresh_entries,
                 )
             )
         return results

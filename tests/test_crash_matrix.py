@@ -105,6 +105,52 @@ class TestCrashMatrixReduced:
         assert first.device_ops == second.device_ops
 
 
+class TestCrashMatrixFreshTier:
+    """Flush-boundary crash points: the tier's durability contract.
+
+    With the memory tier enabled, acked inserts reach disk only through
+    batched flushes, so the WAL is the sole durable record until a flush
+    lands. Every sampled crash point inside a flush span must recover all
+    acked inserts (possibly back into the tier) with invariants intact.
+    """
+
+    def test_flush_interior_crash_points_recover(self):
+        report = run_crash_matrix(
+            CrashMatrixConfig(
+                updates=36,
+                device_stride=10_000,  # stride covers op 0 only; the rest
+                flush_stride=4,  # come from explicit flush interiors
+                wal_stride=12,
+                search_checks=2,
+                fresh_tier=True,
+                fresh_flush_threshold=8,
+            )
+        )
+        assert report.ok, report.summary()
+        phases = report.phase_counts()
+        assert phases.get("flush", 0) >= 5, report.summary()
+        # WAL tears during buffered inserts are enumerated too.
+        assert phases.get("insert", 0) > 0
+        for trial in report.trials:
+            if trial.label != "control":
+                assert trial.crashed, f"{trial.label} never hit its crash point"
+
+    def test_fresh_matrix_is_deterministic(self):
+        config = CrashMatrixConfig(
+            updates=24,
+            device_stride=10_000,
+            flush_stride=9,
+            wal_stride=24,
+            search_checks=1,
+            fresh_tier=True,
+            fresh_flush_threshold=8,
+        )
+        first = run_crash_matrix(config)
+        second = run_crash_matrix(config)
+        assert [t.label for t in first.trials] == [t.label for t in second.trials]
+        assert first.device_ops == second.device_ops
+
+
 @pytest.mark.slow
 class TestCrashMatrixFull:
     """Acceptance sweep: >=200 crash points, all phases, zero losses."""

@@ -17,6 +17,31 @@ def sharded(vectors, small_config):
         yield index
 
 
+@pytest.fixture(params=["disk-only", "fresh-tier"])
+def facade(request, vectors, small_config):
+    """Sharded facade in both write-path modes.
+
+    The ``fresh-tier`` variant enables the LSM-style memory tier on every
+    shard (threshold high enough that nothing auto-flushes) and buffers a
+    batch of extra inserts, so the scatter-gather paths are exercised with
+    tier-resident vectors on the shards.
+    """
+    config = small_config
+    if request.param == "fresh-tier":
+        config = small_config.with_overrides(
+            enable_fresh_tier=True,
+            fresh_flush_threshold=10_000,
+            search_latency_budget_us=None,
+        )
+    with ShardedSPFresh.build(vectors, num_shards=3, config=config) as index:
+        if request.param == "fresh-tier":
+            rng = np.random.default_rng(99)
+            for i in range(40):
+                index.insert(50_000 + i, rng.normal(size=DIM).astype(np.float32))
+            assert any(len(s.fresh_tier) > 0 for s in index.shards)
+        yield index
+
+
 class TestRouter:
     def test_deterministic(self):
         router = ShardRouter(4)
@@ -172,19 +197,19 @@ class TestUpdates:
 
 
 class TestBatchedFacade:
-    def test_search_many_matches_search_per_query(self, sharded, vectors):
+    def test_search_many_matches_search_per_query(self, facade, vectors):
         queries = vectors[:12] + 0.01
-        batched = sharded.search_many(queries, 5, nprobe=8)
+        batched = facade.search_many(queries, 5, nprobe=8)
         assert len(batched) == len(queries)
         for q, b in zip(queries, batched):
-            single = sharded.search(q, 5, nprobe=8)
+            single = facade.search(q, 5, nprobe=8)
             np.testing.assert_array_equal(b.ids, single.ids)
             np.testing.assert_array_equal(b.distances, single.distances)
 
-    def test_search_many_parallel_matches_serial(self, sharded, vectors):
+    def test_search_many_parallel_matches_serial(self, facade, vectors):
         queries = vectors[:8] + 0.01
-        serial = sharded.search_many(queries, 5, nprobe=8)
-        parallel = sharded.search_many(queries, 5, nprobe=8, parallel=True)
+        serial = facade.search_many(queries, 5, nprobe=8)
+        parallel = facade.search_many(queries, 5, nprobe=8, parallel=True)
         for s, p in zip(serial, parallel):
             np.testing.assert_array_equal(s.ids, p.ids)
             np.testing.assert_array_equal(s.distances, p.distances)
@@ -195,11 +220,41 @@ class TestBatchedFacade:
     def test_empty_batch(self, sharded):
         assert sharded.search_many(np.empty((0, DIM), dtype=np.float32), 5) == []
 
-    def test_latency_model_matches_single_facade(self, sharded, vectors):
+    def test_latency_model_matches_single_facade(self, facade, vectors):
         queries = vectors[:4] + 0.01
-        for result in sharded.search_many(queries, 5, nprobe=8):
+        for result in facade.search_many(queries, 5, nprobe=8):
             assert result.latency_us > ShardedSPFresh.MERGE_COST_US
             assert result.io_latency_us <= result.latency_us
+
+
+class TestShardedFreshTierParity:
+    """Sharding must not change what a fresh-tier search returns."""
+
+    def test_sharded_matches_unsharded_with_resident_tiers(
+        self, vectors, small_config
+    ):
+        config = small_config.with_overrides(
+            enable_fresh_tier=True,
+            fresh_flush_threshold=10_000,
+            search_latency_budget_us=None,
+        )
+        rng = np.random.default_rng(5)
+        extra = rng.normal(size=(40, DIM)).astype(np.float32)
+        single = SPFreshIndex.build(vectors, config=config)
+        with ShardedSPFresh.build(
+            vectors, num_shards=3, config=config
+        ) as sharded_index:
+            for i, vec in enumerate(extra):
+                single.insert(60_000 + i, vec)
+                sharded_index.insert(60_000 + i, vec)
+            assert len(single.fresh_tier) == len(extra)
+            assert any(len(s.fresh_tier) > 0 for s in sharded_index.shards)
+            queries = np.concatenate([vectors[:8] + 0.01, extra[:8] + 0.01])
+            for q in queries:
+                want = single.search(q, 5, nprobe=10**6)
+                got = sharded_index.search(q, 5, nprobe=10**6)
+                np.testing.assert_array_equal(got.ids, want.ids)
+                np.testing.assert_array_equal(got.distances, want.distances)
 
 
 class TestLifecycle:
