@@ -1,121 +1,13 @@
-"""Product quantization (Jégou et al.) for DiskANN's in-memory vectors.
+"""Product quantization for DiskANN's in-memory vectors (re-export).
 
 DiskANN keeps a PQ-compressed copy of every vector in DRAM so graph
 traversal can estimate distances without touching disk; exact vectors are
-read from the node blocks only for the final rerank. This implementation
-uses the classic layout: the vector is cut into ``num_subspaces`` chunks,
-each chunk quantized against a 256-entry codebook learned with k-means.
+read from the node blocks only for the final rerank. The implementation
+was promoted into the main engine as :mod:`repro.quantize.pq` (the
+SPFresh searcher now scans PQ codes in postings too); this module remains
+the baseline's import path.
 """
 
-from __future__ import annotations
+from repro.quantize.pq import ProductQuantizer
 
-import numpy as np
-
-from repro.clustering.kmeans import kmeans
-from repro.util.distance import pairwise_sq_l2
-
-
-class ProductQuantizer:
-    """Classic PQ with asymmetric distance computation (ADC)."""
-
-    def __init__(self, dim: int, num_subspaces: int = 4, codebook_size: int = 256) -> None:
-        if dim % num_subspaces != 0:
-            raise ValueError(
-                f"dim {dim} must be divisible by num_subspaces {num_subspaces}"
-            )
-        if not 2 <= codebook_size <= 256:
-            raise ValueError("codebook_size must fit in one byte (2..256)")
-        self.dim = dim
-        self.num_subspaces = num_subspaces
-        self.sub_dim = dim // num_subspaces
-        self.codebook_size = codebook_size
-        self.codebooks: np.ndarray | None = None  # (m, codebook_size, sub_dim)
-
-    @property
-    def is_fitted(self) -> bool:
-        return self.codebooks is not None
-
-    def fit(
-        self,
-        vectors: np.ndarray,
-        rng: np.random.Generator | None = None,
-        max_iters: int = 8,
-        sample_size: int = 4096,
-    ) -> "ProductQuantizer":
-        """Learn one k-means codebook per subspace from a training sample."""
-        vectors = np.ascontiguousarray(vectors, dtype=np.float32)
-        rng = rng or np.random.default_rng(0)
-        if len(vectors) > sample_size:
-            sample = vectors[rng.choice(len(vectors), sample_size, replace=False)]
-        else:
-            sample = vectors
-        books = np.zeros(
-            (self.num_subspaces, self.codebook_size, self.sub_dim), dtype=np.float32
-        )
-        for m in range(self.num_subspaces):
-            chunk = sample[:, m * self.sub_dim : (m + 1) * self.sub_dim]
-            k = min(self.codebook_size, len(chunk))
-            centroids, _ = kmeans(chunk, k, rng, max_iters=max_iters)
-            books[m, : len(centroids)] = centroids
-            if len(centroids) < self.codebook_size:
-                # Pad unused codewords far away so they are never selected.
-                books[m, len(centroids) :] = centroids[0] + 1e6
-        self.codebooks = books
-        return self
-
-    def encode(self, vectors: np.ndarray) -> np.ndarray:
-        """Quantize vectors to (n, num_subspaces) uint8 codes."""
-        if not self.is_fitted:
-            raise RuntimeError("ProductQuantizer.fit must be called first")
-        vectors = np.ascontiguousarray(vectors, dtype=np.float32)
-        if vectors.ndim == 1:
-            vectors = vectors.reshape(1, -1)
-        codes = np.zeros((len(vectors), self.num_subspaces), dtype=np.uint8)
-        for m in range(self.num_subspaces):
-            chunk = vectors[:, m * self.sub_dim : (m + 1) * self.sub_dim]
-            dists = pairwise_sq_l2(chunk, self.codebooks[m])
-            codes[:, m] = dists.argmin(axis=1).astype(np.uint8)
-        return codes
-
-    def decode(self, codes: np.ndarray) -> np.ndarray:
-        """Reconstruct approximate vectors from codes."""
-        if not self.is_fitted:
-            raise RuntimeError("ProductQuantizer.fit must be called first")
-        codes = np.asarray(codes, dtype=np.uint8)
-        if codes.ndim == 1:
-            codes = codes.reshape(1, -1)
-        out = np.zeros((len(codes), self.dim), dtype=np.float32)
-        for m in range(self.num_subspaces):
-            out[:, m * self.sub_dim : (m + 1) * self.sub_dim] = self.codebooks[m][
-                codes[:, m]
-            ]
-        return out
-
-    def distance_table(self, query: np.ndarray) -> np.ndarray:
-        """Per-subspace distances from ``query`` to every codeword (ADC)."""
-        if not self.is_fitted:
-            raise RuntimeError("ProductQuantizer.fit must be called first")
-        query = np.ascontiguousarray(query, dtype=np.float32).reshape(-1)
-        table = np.zeros((self.num_subspaces, self.codebook_size), dtype=np.float32)
-        for m in range(self.num_subspaces):
-            chunk = query[m * self.sub_dim : (m + 1) * self.sub_dim]
-            table[m] = pairwise_sq_l2(
-                chunk.reshape(1, -1), self.codebooks[m]
-            ).ravel()
-        return table
-
-    @staticmethod
-    def adc_distances(table: np.ndarray, codes: np.ndarray) -> np.ndarray:
-        """Approximate squared distances via table lookups (vectorized)."""
-        codes = np.asarray(codes, dtype=np.uint8)
-        if codes.ndim == 1:
-            codes = codes.reshape(1, -1)
-        cols = np.arange(codes.shape[1])
-        return table[cols, codes].sum(axis=1)
-
-    def memory_bytes(self, num_vectors: int) -> int:
-        """DRAM model: codes for every vector plus the codebooks."""
-        codebook_bytes = (
-            self.num_subspaces * self.codebook_size * self.sub_dim * 4
-        )
-        return num_vectors * self.num_subspaces + codebook_bytes
+__all__ = ["ProductQuantizer"]

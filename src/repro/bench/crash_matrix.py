@@ -38,6 +38,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.api import QueryRequest
 from repro.core.config import SPFreshConfig
 from repro.core.index import SPFreshIndex
 from repro.spann.postings import live_view
@@ -394,7 +395,9 @@ def _audit(
         vid = survivors[int(pick)]
         query = vectors_by_vid[vid]
         want = set(_brute_force_topk(vectors_by_vid, survivors, query, k))
-        result = recovered.search(query, k, nprobe=recovered.num_postings)
+        result = recovered.query(
+            QueryRequest.single(query, k=k, nprobe=recovered.num_postings)
+        ).result
         got = set(int(i) for i in result.ids)
         recall = len(want & got) / k
         worst = min(worst, recall)

@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.api import QueryRequest
 from repro.datasets.groundtruth import GroundTruthTracker
 from repro.datasets.workloads import Workload
 from repro.metrics.latency import LatencyTracker
@@ -83,7 +84,8 @@ class SPFreshAdapter:
         return self.index.delete(vector_id)
 
     def search(self, query: np.ndarray, k: int, nprobe: int | None = None):
-        return self.index.search(query, k, nprobe)
+        request = QueryRequest.single(query, k=k, nprobe=nprobe)
+        return self.index.query(request).result
 
     def maintenance(self) -> None:
         self._day += 1

@@ -41,6 +41,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.api import QueryRequest
 from repro.bench.reporting import format_markdown_table
 from repro.bench.scales import PERF_SCALES, PerfScale
 from repro.core.config import SPFreshConfig
@@ -59,6 +60,7 @@ FILE_PREFIX = "BENCH_"
 # Deterministic metrics are gated lower-is-better unless named here.
 _HIGHER_IS_BETTER_SUFFIXES = (
     "recall_at_k",
+    "recall_ratio",
     "hit_rate",
     "speedup",
     "goodput_qps",
@@ -163,7 +165,9 @@ def scenario_search(scale: PerfScale, seed: int) -> ScenarioResult:
     before = index.ssd.stats.snapshot()
     wall_start = time.perf_counter()
     for query in queries:
-        result = index.search(query, scale.k, nprobe=scale.nprobe)
+        result = index.query(
+            QueryRequest.single(query, k=scale.k, nprobe=scale.nprobe)
+        ).result
         latencies.append(result.latency_us)
         io_latencies.append(result.io_latency_us)
         probed.append(result.postings_probed)
@@ -178,7 +182,9 @@ def scenario_search(scale: PerfScale, seed: int) -> ScenarioResult:
     wall_start = time.perf_counter()
     for start in range(0, len(queries), scale.batch_size):
         chunk = queries[start : start + scale.batch_size]
-        for result in index.search_batch(chunk, scale.k, nprobe=scale.nprobe):
+        for result in index.query(
+            QueryRequest(vectors=chunk, k=scale.k, nprobe=scale.nprobe)
+        ):
             batch_latencies.append(result.latency_us)
             batch_ids.append(result.ids)
     batch_wall = time.perf_counter() - wall_start
@@ -336,7 +342,7 @@ def scenario_rebalance(scale: PerfScale, seed: int) -> ScenarioResult:
         hot_center + rng.normal(scale=0.3, size=(64, scale.dim))
     ).astype(np.float32)
     for query in probes:
-        index.search(query, scale.k, nprobe=scale.nprobe)
+        index.query(QueryRequest.single(query, k=scale.k, nprobe=scale.nprobe))
     index.drain()
     from repro.core.maintenance import MaintenanceScanner
 
@@ -464,10 +470,16 @@ def scenario_fresh_tier(scale: PerfScale, seed: int) -> ScenarioResult:
     )
     truth = exact_knn(all_vectors, all_ids, queries, scale.k)
     base_ids = [
-        base_index.search(q, scale.k, nprobe=scale.nprobe).ids for q in queries
+        base_index.query(
+            QueryRequest.single(q, k=scale.k, nprobe=scale.nprobe)
+        ).ids
+        for q in queries
     ]
     fresh_ids = [
-        fresh_index.search(q, scale.k, nprobe=scale.nprobe).ids for q in queries
+        fresh_index.query(
+            QueryRequest.single(q, k=scale.k, nprobe=scale.nprobe)
+        ).ids
+        for q in queries
     ]
 
     # Parity sweeps on the fresh index: full probe, exact merge, tier still
@@ -483,9 +495,14 @@ def scenario_fresh_tier(scale: PerfScale, seed: int) -> ScenarioResult:
     )
     tier_resident = len(fresh_index.fresh_tier)
     pre = [
-        fresh_index.search(q, scale.k, nprobe=10**6) for q in parity_queries
+        fresh_index.query(QueryRequest.single(q, k=scale.k, nprobe=10**6)).result
+        for q in parity_queries
     ]
-    batched = fresh_index.search_batch(parity_queries, scale.k, nprobe=10**6)
+    batched = list(
+        fresh_index.query(
+            QueryRequest(vectors=parity_queries, k=scale.k, nprobe=10**6)
+        )
+    )
     batch_single_mismatches = sum(
         1
         for s, b in zip(pre, batched)
@@ -496,7 +513,8 @@ def scenario_fresh_tier(scale: PerfScale, seed: int) -> ScenarioResult:
     )
     flushed_for_parity = fresh_index.flush_fresh_tier()
     post = [
-        fresh_index.search(q, scale.k, nprobe=10**6) for q in parity_queries
+        fresh_index.query(QueryRequest.single(q, k=scale.k, nprobe=10**6)).result
+        for q in parity_queries
     ]
     search_parity_mismatches = sum(
         1
@@ -552,6 +570,293 @@ def scenario_fresh_tier(scale: PerfScale, seed: int) -> ScenarioResult:
             "tail_inserts": tail,
             "fresh_flush_threshold": threshold,
             "parity_queries": len(parity_queries),
+        },
+        deterministic=deterministic,
+        wall_clock=wall_clock,
+    )
+
+
+def scenario_quantized(scale: PerfScale, seed: int) -> ScenarioResult:
+    """Quantized posting scans vs exact, at equal probe width.
+
+    This scenario pins its own workload geometry instead of the generic
+    ``scale`` one: SIFT-like 128-dimensional vectors and paper-realistic
+    posting lengths (hundreds of entries per posting). That is the regime
+    the tentpole targets — with 32-dimensional vectors and ~50-entry
+    postings, per-posting bookkeeping dominates and the code/vector byte
+    asymmetry (a 25-byte PQ entry vs a 521-byte vector entry) is
+    invisible. Probe width, k, and the query set are identical for both
+    paths.
+
+    Two same-seed builds over the same base set — one with the plain v1
+    codec, one with the sectioned quantized codec (PQ, 16 subspaces) —
+    run the identical query sweep with no latency budget. The simulated
+    IO sweep is single-query: per-query read accounting is what a
+    serving system pays per request, whereas a batched sweep fetches
+    each posting once for the whole batch and amortizes the very reads
+    the codec shrinks. Gated metrics (docs/quantization.md):
+
+    * recall for both, plus ``quant_recall_ratio`` (quantized ÷ exact;
+      CI asserts >= 0.95 explicitly);
+    * simulated read bytes per query for both, plus the byte and
+      simulated-latency speedups (the IO win is what quantization buys:
+      scans touch only the compact code section, then fetch only the
+      ``k * rerank_k`` selected rows);
+    * ``rerank_all_mismatches``: with ``rerank_k`` large enough to rerank
+      every scanned candidate, the quantized path must be bit-identical
+      (ids and distances) to the exact index — expected 0;
+    * ``batch_parity_mismatches``: the batched quantized path must agree
+      with the single-query path bit for bit — expected 0;
+    * code/vector coherence after LIRE churn (inserts + deletes + drain)
+      audited by ``check_invariants`` — expected 0 mismatching postings;
+    * a recall-vs-bytes ablation (exact / PQ m=8 / PQ m=16 / SQ8).
+
+    Wall clock rides along informationally (the two-clock model: wall
+    clock never gates) but is the headline demonstration: the batched
+    sweep's profiler attributes time per stage, and the quantized
+    ``scan`` stage (ADC over codes) must come in under the exact path's
+    full-dimension posting scans. Rerank cost is reported separately —
+    it is refinement on fetched rows, not posting traversal.
+    """
+    from repro.core.invariants import check_invariants
+
+    # Scenario-local geometry (see docstring). The base count scales with
+    # the tier but is capped: posting length, not corpus size, is what
+    # the codec comparison is sensitive to.
+    dim = 128
+    n_base = min(16_000, max(3_000, 4 * scale.base_vectors))
+    n_queries = min(scale.queries, 200)
+    nprobe = 4
+    subspaces = 16
+    rerank_k = 24
+
+    dataset = make_sift_like(n_base, 0, dim=dim, seed=seed)
+    rng = np.random.default_rng(seed + 1)
+    picks = rng.integers(0, n_base, size=n_queries)
+    noise = rng.normal(scale=0.05, size=(n_queries, dim))
+    queries = (dataset.base[picks] + noise).astype(np.float32)
+    truth = exact_knn(dataset.base, np.arange(n_base), queries, scale.k)
+
+    def build(**overrides):
+        config = _base_config(
+            scale,
+            seed,
+            dim=dim,
+            ssd_blocks=1 << 17,
+            build_target_posting_size=512,
+            max_posting_size=4096,
+            search_latency_budget_us=None,
+            **overrides,
+        )
+        return SPFreshIndex.build(dataset.base, config=config), config
+
+    exact_index, config = build()
+    quant_index, quant_config = build(
+        quant_enabled=True,
+        quant_kind="pq",
+        quant_subspaces=subspaces,
+        quant_rerank_k=rerank_k,
+    )
+
+    def sweep(index):
+        """Single-query sweep: per-query simulated IO accounting."""
+        ids, latencies, io_lat, scanned, reranked = [], [], [], [], []
+        before = index.ssd.stats.snapshot()
+        for q in queries:
+            r = index.query(
+                QueryRequest.single(q, k=scale.k, nprobe=nprobe)
+            ).result
+            ids.append(r.ids)
+            latencies.append(r.latency_us)
+            io_lat.append(r.io_latency_us)
+            scanned.append(r.entries_scanned)
+            reranked.append(r.reranked_entries)
+        window = index.ssd.stats.since(before)
+        return ids, latencies, io_lat, scanned, reranked, window
+
+    def batched_sweep(index, runs=3):
+        """Batched sweep: wall clock + per-stage profiler attribution."""
+        request = QueryRequest(vectors=queries, k=scale.k, nprobe=nprobe)
+        response = index.search(request)  # warm caches before timing
+        index.profiler.enabled = True
+        best_wall, best_stages = math.inf, {}
+        for _ in range(runs):
+            index.profiler.reset()
+            start = time.perf_counter()
+            response = index.search(request)
+            wall = time.perf_counter() - start
+            if wall < best_wall:
+                best_wall = wall
+                best_stages = {
+                    stage: stats["total_us"] / 1e3
+                    for stage, stats in index.profiler.snapshot().items()
+                }
+        index.profiler.enabled = False
+        return response, best_wall, best_stages
+
+    e_ids, e_lat, e_io, e_scanned, _, e_window = sweep(exact_index)
+    q_ids, q_lat, q_io, q_scanned, q_reranked, q_window = sweep(quant_index)
+    exact_recall = recall_at_k(e_ids, truth, scale.k)
+    quant_recall = recall_at_k(q_ids, truth, scale.k)
+
+    e_batch, e_wall, e_stages = batched_sweep(exact_index)
+    q_batch, q_wall, q_stages = batched_sweep(quant_index)
+
+    # Batched-vs-single parity: the grouped scan must reproduce the
+    # single-query path bit for bit (ids and distances).
+    batch_mismatches = 0
+    for single_ids, batch_result in zip(q_ids, q_batch.results):
+        if not np.array_equal(single_ids, batch_result.ids):
+            batch_mismatches += 1
+
+    # Rerank-everything parity: every scanned candidate reranked against
+    # exact vectors must reproduce the exact search bit for bit.
+    mismatches = 0
+    for q in queries[: min(32, len(queries))]:
+        exact_r = exact_index.query(
+            QueryRequest.single(q, k=scale.k, nprobe=nprobe)
+        ).result
+        rerank_all = quant_index.query(
+            QueryRequest.single(q, k=scale.k, nprobe=nprobe, rerank_k=10**6)
+        ).result
+        if not (
+            np.array_equal(exact_r.ids, rerank_all.ids)
+            and np.array_equal(exact_r.distances, rerank_all.distances)
+        ):
+            mismatches += 1
+
+    # LIRE churn on the quantized index; the auditor's code-coherence
+    # check proves splits/merges/GC kept codes in sync with vectors.
+    rng = np.random.default_rng(seed + 7)
+    churn = max(min(scale.updates // 4, 600), 60)
+    for i in range(churn):
+        if i % 3 == 2:
+            quant_index.delete(int(rng.integers(n_base)))
+        else:
+            pick = int(rng.integers(n_base))
+            vector = (
+                dataset.base[pick] + rng.normal(scale=0.1, size=dim)
+            ).astype(np.float32)
+            quant_index.insert(5_000_000 + i, vector)
+    quant_index.drain()
+    audit = check_invariants(quant_index)
+
+    # Recall-vs-bytes ablation: code bytes per vector against recall and
+    # per-query read bytes at the regular probe width.
+    ablation: dict[str, tuple[int, float, float]] = {
+        "exact": (dim * 4, exact_recall, e_window.bytes_read / n_queries),
+        "pq_m16": (
+            subspaces,
+            quant_recall,
+            q_window.bytes_read / n_queries,
+        ),
+    }
+    ablation_overrides = {
+        "pq_m8": dict(
+            quant_enabled=True,
+            quant_kind="pq",
+            quant_subspaces=8,
+            quant_rerank_k=rerank_k,
+        ),
+        "sq8": dict(
+            quant_enabled=True, quant_kind="sq8", quant_rerank_k=rerank_k
+        ),
+    }
+    for label, overrides in ablation_overrides.items():
+        index, _ = build(**overrides)
+        before = index.ssd.stats.snapshot()
+        ids = [
+            index.query(
+                QueryRequest.single(q, k=scale.k, nprobe=nprobe)
+            ).ids
+            for q in queries
+        ]
+        window = index.ssd.stats.since(before)
+        ablation[label] = (
+            index.quantizer.code_bytes,
+            recall_at_k(ids, truth, scale.k),
+            window.bytes_read / n_queries,
+        )
+
+    deterministic = {
+        "exact_recall_at_k": _round(exact_recall, 4),
+        "quant_recall_at_k": _round(quant_recall, 4),
+        "quant_recall_ratio": _round(
+            quant_recall / exact_recall if exact_recall > 0 else 0.0, 4
+        ),
+        "rerank_all_mismatches": float(mismatches),
+        "batch_parity_mismatches": float(batch_mismatches),
+        "quant_code_mismatch_postings": float(len(audit.code_mismatches)),
+        "quant_lost_vectors": float(len(audit.lost_vectors)),
+        "exact_read_bytes_per_query": _round(e_window.bytes_read / n_queries),
+        "quant_read_bytes_per_query": _round(q_window.bytes_read / n_queries),
+        "quant_read_bytes_speedup": _round(
+            e_window.bytes_read / q_window.bytes_read
+            if q_window.bytes_read > 0
+            else 0.0
+        ),
+        "quant_latency_speedup": _round(
+            float(np.mean(e_lat)) / float(np.mean(q_lat))
+            if np.mean(q_lat) > 0
+            else 0.0
+        ),
+        "exact_entries_scanned_mean": _round(np.mean(e_scanned)),
+        "quant_entries_scanned_mean": _round(np.mean(q_scanned)),
+        "quant_reranked_entries_mean": _round(np.mean(q_reranked)),
+        **percentile_metrics(e_lat, "exact_latency_us"),
+        **percentile_metrics(q_lat, "quant_latency_us"),
+        **percentile_metrics(e_io, "exact_io_latency_us"),
+        **percentile_metrics(q_io, "quant_io_latency_us"),
+        **{
+            f"ablation_{label}_code_bytes": float(bytes_)
+            for label, (bytes_, _, _) in ablation.items()
+        },
+        **{
+            f"ablation_{label}_recall_at_k": _round(recall, 4)
+            for label, (_, recall, _) in ablation.items()
+        },
+        **{
+            f"ablation_{label}_read_bytes_per_query": _round(per_query)
+            for label, (_, _, per_query) in ablation.items()
+        },
+        **e_window.to_metrics("exact_io"),
+        **q_window.to_metrics("quant_io"),
+    }
+    wall_clock = {
+        "exact_batch_wall_ms": _round(e_wall * 1e3),
+        "quant_batch_wall_ms": _round(q_wall * 1e3),
+        "quant_wall_speedup": _round(e_wall / q_wall if q_wall > 0 else 0.0),
+        "exact_scan_ms": _round(e_stages.get("scan", 0.0)),
+        "quant_scan_ms": _round(q_stages.get("scan", 0.0)),
+        "quant_scan_wall_speedup": _round(
+            e_stages.get("scan", 0.0) / q_stages["scan"]
+            if q_stages.get("scan")
+            else 0.0
+        ),
+        "quant_rerank_ms": _round(q_stages.get("rerank", 0.0)),
+        "quant_tables_ms": _round(q_stages.get("tables", 0.0)),
+        **{
+            f"exact_stage_{stage}_ms": _round(ms)
+            for stage, ms in e_stages.items()
+        },
+        **{
+            f"quant_stage_{stage}_ms": _round(ms)
+            for stage, ms in q_stages.items()
+        },
+    }
+    return ScenarioResult(
+        scenario="quantized",
+        config={
+            **_scenario_config(scale, seed, quant_config),
+            "base_vectors": n_base,
+            "dim": dim,
+            "nprobe": nprobe,
+            "queries": n_queries,
+            "quant_kind": "pq",
+            "quant_subspaces": subspaces,
+            "quant_rerank_k": rerank_k,
+            "build_target_posting_size": 512,
+            "churn_updates": churn,
         },
         deterministic=deterministic,
         wall_clock=wall_clock,
@@ -881,6 +1186,7 @@ SCENARIOS = {
     "update": scenario_update,
     "rebalance": scenario_rebalance,
     "fresh_tier": scenario_fresh_tier,
+    "quantized": scenario_quantized,
     "recovery": scenario_recovery,
     "cache": scenario_cache,
     "throughput": scenario_throughput,
@@ -950,6 +1256,9 @@ def run_markdown_summary(results: list[ScenarioResult]) -> str:
         "insert_latency_us_p99.9",
         "cached_latency_us_p50",
         "single_recall_at_k",
+        "quant_recall_ratio",
+        "quant_read_bytes_speedup",
+        "rerank_all_mismatches",
         "fresh_write_amp_speedup",
         "search_parity_mismatches",
         "cache_hit_rate",
@@ -1144,17 +1453,26 @@ def compare_dirs(
 # ----------------------------------------------------------------------
 # CLI
 # ----------------------------------------------------------------------
-def main(argv: list[str] | None = None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument(
-        "--scale", choices=sorted(PERF_SCALES), default="quick",
-        help="workload scale preset (see repro.bench.scales.PERF_SCALES)",
-    )
+def add_perf_arguments(
+    parser: argparse.ArgumentParser, *, include_shared: bool = True
+) -> None:
+    """Register the harness's flags on ``parser``.
+
+    The unified ``python -m repro`` CLI supplies ``--scale``/``--seed``
+    from its shared parent parser and calls this with
+    ``include_shared=False``; the standalone ``python -m repro.bench.perf``
+    entry point registers everything itself.
+    """
+    if include_shared:
+        parser.add_argument(
+            "--scale", choices=sorted(PERF_SCALES), default="quick",
+            help="workload scale preset (see repro.bench.scales.PERF_SCALES)",
+        )
+        parser.add_argument("--seed", type=int, default=0)
     parser.add_argument(
         "--quick", action="store_true",
         help="alias for --scale quick (the CI tier)",
     )
-    parser.add_argument("--seed", type=int, default=0)
     parser.add_argument(
         "--out", default=".",
         help="directory that receives BENCH_*.json (default: repo root)",
@@ -1180,7 +1498,10 @@ def main(argv: list[str] | None = None) -> int:
         "--summary", metavar="PATH", default=None,
         help="also write the markdown summary/comparison to this file",
     )
-    args = parser.parse_args(argv)
+
+
+def run_cli(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
+    """Execute one parsed harness invocation (shared with ``repro.cli``)."""
     if args.quick:
         args.scale = "quick"
     scale = PERF_SCALES[args.scale]
@@ -1211,6 +1532,12 @@ def main(argv: list[str] | None = None) -> int:
         with open(args.summary, "w") as fh:
             fh.write(summary + "\n")
     return exit_code
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    add_perf_arguments(parser)
+    return run_cli(parser.parse_args(argv), parser)
 
 
 if __name__ == "__main__":

@@ -33,6 +33,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.api import QueryRequest
 from repro.core.config import SPFreshConfig
 from repro.core.index import SPFreshIndex
 from repro.core.invariants import InvariantReport, check_invariants
@@ -224,11 +225,19 @@ def _foreground_worker(
                     center + vec_rng.normal(scale=0.5, size=config.dim)
                 ).astype(np.float32)
                 if config.batch_search_every and op % config.batch_search_every == 0:
-                    index.search_batch(
-                        query[None, :], config.search_k, nprobe=config.nprobe
+                    index.query(
+                        QueryRequest(
+                            vectors=query[None, :],
+                            k=config.search_k,
+                            nprobe=config.nprobe,
+                        )
                     )
                 else:
-                    index.search(query, config.search_k, nprobe=config.nprobe)
+                    index.query(
+                        QueryRequest.single(
+                            query, k=config.search_k, nprobe=config.nprobe
+                        )
+                    )
                 searches += 1
     except Exception as exc:  # noqa: BLE001 — report, don't kill the run
         with counts_lock:
@@ -260,7 +269,9 @@ def _self_recall(index: SPFreshIndex, config: StressConfig) -> float:
     nprobe = max(config.nprobe, 16)
     found = 0
     for vid, vector in vectors.items():
-        result = index.search(vector, 10, nprobe=nprobe)
+        result = index.query(
+            QueryRequest.single(vector, k=10, nprobe=nprobe)
+        ).result
         if vid in set(int(i) for i in result.ids):
             found += 1
     return found / take if take else 1.0

@@ -2,12 +2,20 @@
 
 Usage::
 
+    python -m repro --help                   # every subcommand, one parser
     python -m repro overview                 # build + quick stats
     python -m repro simulate --days 10       # Figure-7-style day series
     python -m repro compare --days 7         # SPFresh vs SPANN+ vs DiskANN
     python -m repro sweep-nprobe             # recall/latency trade-off
-    python -m repro profile                  # wall-clock stage profile
+    python -m repro profile --scale quick    # wall-clock stage profile
+    python -m repro serve-bench --report f   # open-loop serving bench
     python -m repro perf --quick             # BENCH_*.json perf harness
+
+All subcommands hang off one argparse tree. ``--seed`` is shared by every
+subcommand; the benchmark-shaped ones (``perf``, ``profile``,
+``serve-bench``) additionally share ``--scale`` (the
+``repro.bench.scales.PERF_SCALES`` presets) and ``--report`` (write the
+subcommand's tables/summary to a file as well as stdout).
 
 Every subcommand prints the same ASCII tables the benches emit, so the
 CLI is the interactive way to poke at the system; `benchmarks/` remains
@@ -20,18 +28,33 @@ import argparse
 
 import numpy as np
 
+from repro.api import QueryRequest
+from repro.bench.scales import PERF_SCALES
 from repro.core.config import SPFreshConfig
 from repro.core.index import SPFreshIndex
 
 
-def _add_common(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("--base", type=int, default=4000, help="base vectors")
-    parser.add_argument("--dim", type=int, default=32, help="dimensionality")
-    parser.add_argument("--queries", type=int, default=50, help="query count")
-    parser.add_argument("--seed", type=int, default=0)
+def _add_common(parser: argparse.ArgumentParser, *, scale_defaults: bool = False) -> None:
+    """Dataset-shape flags. With ``scale_defaults`` the sizes default to
+    ``None`` and are filled from the subcommand's ``--scale`` preset."""
+    base, dim, queries = (None, None, None) if scale_defaults else (4000, 32, 50)
+    parser.add_argument("--base", type=int, default=base, help="base vectors")
+    parser.add_argument("--dim", type=int, default=dim, help="dimensionality")
+    parser.add_argument("--queries", type=int, default=queries, help="query count")
     parser.add_argument(
         "--skewed", action="store_true", help="SPACEV-like skew + drift"
     )
+
+
+def _resolve_scale(args) -> None:
+    """Fill dataset-shape flags left at ``None`` from the --scale preset."""
+    scale = PERF_SCALES[args.scale]
+    if args.base is None:
+        args.base = scale.base_vectors
+    if args.dim is None:
+        args.dim = scale.dim
+    if args.queries is None:
+        args.queries = min(scale.queries, 400)
 
 
 def _dataset(args, pool: int = 0):
@@ -52,7 +75,9 @@ def cmd_overview(args) -> int:
     print(f"postings:  {index.num_postings} "
           f"(sizes min/mean/max {sizes.min()}/{sizes.mean():.0f}/{sizes.max()})")
     print(f"DRAM:      {index.memory_bytes() / 1024:.1f} KiB")
-    result = index.search(dataset.base[0] + 0.01, 10)
+    result = index.query(
+        QueryRequest.single(dataset.base[0] + 0.01, k=10)
+    ).result
     print(f"probe:     {result.latency_us:.0f} us simulated "
           f"({result.postings_probed} postings, "
           f"{result.entries_scanned} entries)")
@@ -179,9 +204,11 @@ def cmd_compare(args) -> int:
 
 def cmd_perf(args) -> int:
     """Run the deterministic perf-regression harness (BENCH_*.json)."""
-    from repro.bench.perf import main as perf_main
+    from repro.bench.perf import run_cli as perf_run
 
-    return perf_main(args.perf_args)
+    if args.report and not args.summary:
+        args.summary = args.report
+    return perf_run(args, args._parser)
 
 
 def cmd_profile(args) -> int:
@@ -193,6 +220,7 @@ def cmd_profile(args) -> int:
     """
     import json
 
+    _resolve_scale(args)
     dataset = _dataset(args)
     rng = np.random.default_rng(args.seed)
     index = SPFreshIndex.build(
@@ -204,9 +232,9 @@ def cmd_profile(args) -> int:
         + rng.normal(scale=0.05, size=(args.queries, args.dim)).astype(np.float32)
     ).astype(np.float32)
     for start in range(0, len(queries), 32):
-        index.search_batch(queries[start : start + 32], 10)
+        index.query(QueryRequest(vectors=queries[start : start + 32], k=10))
     for query in queries:
-        index.search(query, 10)
+        index.query(QueryRequest.single(query, k=10))
     churn = max(1, args.base // 20)
     new_vectors = dataset.base[rng.integers(0, args.base, size=churn)] + 0.01
     for i, vector in enumerate(new_vectors):
@@ -215,9 +243,14 @@ def cmd_profile(args) -> int:
         index.delete(int(vid))
     index.drain()
     if args.json:
-        print(json.dumps(index.profile_snapshot(), indent=2))
+        output = json.dumps(index.profile_snapshot(), indent=2)
     else:
-        print(index.profile_report(title="wall-clock profile (mixed workload)"))
+        output = index.profile_report(title="wall-clock profile (mixed workload)")
+    print(output)
+    if args.report:
+        with open(args.report, "w") as fh:
+            fh.write(output + "\n")
+        print(f"\nwrote {args.report}")
     return 0
 
 
@@ -234,6 +267,7 @@ def cmd_serve_bench(args) -> int:
     from repro.datasets import make_arrival_trace
     from repro.serving import ServingFrontend
 
+    _resolve_scale(args)
     dataset = _dataset(args)
     config = SPFreshConfig(
         dim=args.dim,
@@ -336,7 +370,11 @@ def cmd_sweep_nprobe(args) -> int:
     )
     queries = dataset.base[: args.queries] + 0.01
     truth = exact_knn(dataset.base, np.arange(args.base), queries, 10)
-    curve = recall_curve(index.search, queries, truth, 10, [1, 2, 4, 8, 16, 32])
+
+    def search_fn(query, k, nprobe):
+        return index.query(QueryRequest.single(query, k=k, nprobe=nprobe)).result
+
+    curve = recall_curve(search_fn, queries, truth, 10, [1, 2, 4, 8, 16, 32])
     print(
         format_table(
             ["nprobe", "recall10@10", "mean latency us"],
@@ -348,38 +386,68 @@ def cmd_sweep_nprobe(args) -> int:
 
 
 def build_parser() -> argparse.ArgumentParser:
-    """Assemble the argparse tree for `python -m repro`."""
+    """Assemble the argparse tree for `python -m repro`.
+
+    One shared parent supplies ``--seed`` everywhere; a second parent
+    supplies ``--scale``/``--report`` to the benchmark-shaped subcommands
+    (``perf``, ``profile``, ``serve-bench``) so the flags mean the same
+    thing on each.
+    """
+    from repro.bench.perf import add_perf_arguments
+
+    seeded = argparse.ArgumentParser(add_help=False)
+    seeded.add_argument("--seed", type=int, default=0)
+
+    scaled = argparse.ArgumentParser(add_help=False)
+    scaled.add_argument(
+        "--scale", choices=sorted(PERF_SCALES), default="quick",
+        help="workload scale preset (see repro.bench.scales.PERF_SCALES)",
+    )
+    scaled.add_argument(
+        "--report", metavar="PATH", default=None,
+        help="also write the subcommand's tables/summary to this file",
+    )
+
     parser = argparse.ArgumentParser(
         prog="repro", description="SPFresh reproduction CLI"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    overview = sub.add_parser("overview", help="build an index, print stats")
+    overview = sub.add_parser(
+        "overview", parents=[seeded], help="build an index, print stats"
+    )
     _add_common(overview)
     overview.set_defaults(func=cmd_overview)
 
-    simulate = sub.add_parser("simulate", help="multi-day churn simulation")
+    simulate = sub.add_parser(
+        "simulate", parents=[seeded], help="multi-day churn simulation"
+    )
     _add_common(simulate)
     simulate.add_argument("--days", type=int, default=10)
     simulate.add_argument("--rate", type=float, default=0.01)
     simulate.set_defaults(func=cmd_simulate)
 
-    compare = sub.add_parser("compare", help="SPFresh vs baselines")
+    compare = sub.add_parser(
+        "compare", parents=[seeded], help="SPFresh vs baselines"
+    )
     _add_common(compare)
     compare.add_argument("--days", type=int, default=7)
     compare.add_argument("--rate", type=float, default=0.02)
     compare.add_argument("--skip-diskann", action="store_true")
     compare.set_defaults(func=cmd_compare)
 
-    sweep = sub.add_parser("sweep-nprobe", help="recall/latency curve")
+    sweep = sub.add_parser(
+        "sweep-nprobe", parents=[seeded], help="recall/latency curve"
+    )
     _add_common(sweep)
     sweep.set_defaults(func=cmd_sweep_nprobe)
 
     serve = sub.add_parser(
         "serve-bench",
+        parents=[seeded, scaled],
         help="open-loop serving bench: admission + dynamic batching",
     )
-    _add_common(serve)
+    _add_common(serve, scale_defaults=True)
     serve.add_argument("--requests", type=int, default=6000)
     serve.add_argument("--rate-qps", type=float, default=6000.0)
     serve.add_argument(
@@ -398,15 +466,14 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="skip the unbatched comparison run",
     )
-    serve.add_argument(
-        "--report", default=None, help="also write the tables to this file"
-    )
     serve.set_defaults(func=cmd_serve_bench)
 
     profile = sub.add_parser(
-        "profile", help="wall-clock stage profile of a mixed workload"
+        "profile",
+        parents=[seeded, scaled],
+        help="wall-clock stage profile of a mixed workload",
     )
-    _add_common(profile)
+    _add_common(profile, scale_defaults=True)
     profile.add_argument(
         "--json", action="store_true", help="emit the snapshot as JSON"
     )
@@ -414,27 +481,17 @@ def build_parser() -> argparse.ArgumentParser:
 
     perf = sub.add_parser(
         "perf",
-        help="perf-regression harness (BENCH_*.json); flags pass through",
-        add_help=False,
+        parents=[seeded, scaled],
+        help="perf-regression harness (BENCH_*.json)",
     )
-    perf.add_argument("perf_args", nargs=argparse.REMAINDER)
-    perf.set_defaults(func=cmd_perf)
+    add_perf_arguments(perf, include_shared=False)
+    perf.set_defaults(func=cmd_perf, _parser=perf)
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
-    import sys
-
-    tokens = list(sys.argv[1:] if argv is None else argv)
-    if tokens and tokens[0] == "perf":
-        # Dispatch before argparse: REMAINDER positionals swallow leading
-        # `--flags` into the root parser (bpo-17050), so hand the whole
-        # tail to the perf harness's own parser instead.
-        from repro.bench.perf import main as perf_main
-
-        return perf_main(tokens[1:])
-    args = build_parser().parse_args(tokens)
+    args = build_parser().parse_args(argv)
     return args.func(args)
 
 

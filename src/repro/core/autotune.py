@@ -14,6 +14,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.api import QueryRequest
 from repro.metrics.recall import recall_at_k
 
 
@@ -31,7 +32,7 @@ class TuneResult:
 def _evaluate(index, queries, ground_truth, k, nprobe) -> tuple[float, float]:
     ids, latencies = [], []
     for query in queries:
-        result = index.search(query, k, nprobe)
+        result = index.query(QueryRequest.single(query, k=k, nprobe=nprobe)).result
         ids.append(result.ids)
         latencies.append(result.latency_us)
     return recall_at_k(ids, ground_truth, k), float(np.mean(latencies))

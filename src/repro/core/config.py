@@ -5,6 +5,13 @@ Defaults are tuned for reproduction scale (10^4-10^5 vectors, postings of
 scale: postings an order of magnitude larger than the merge threshold, a
 reassign range covering a local neighborhood of postings, and a handful of
 boundary replicas per vector.
+
+Subsystem knobs live in nested sub-configs (``config.serving``,
+``config.fresh_tier``, ``config.quantize``) so new subsystems stop
+widening one flat namespace. Every historical flat knob
+(``serve_*`` / ``fresh_*`` / ``enable_fresh_tier``, plus the ``quant_*``
+family for quantization) keeps working as a read/write property alias and
+as a constructor / ``with_overrides`` keyword — see docs/api.md.
 """
 
 from __future__ import annotations
@@ -12,6 +19,125 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 
 from repro.util.errors import ConfigError
+
+
+@dataclass
+class ServingConfig:
+    """Serving front-end knobs (repro.serving, docs/serving.md)."""
+
+    queue_capacity: int = 256  # bounded request queue depth
+    max_batch: int = 32  # dynamic batcher size trigger
+    max_wait_us: float = 1500.0  # dynamic batcher time trigger
+    slo_us: float = 15_000.0  # end-to-end latency SLO
+    # Admission sheds when the modelled queue wait exceeds this budget
+    # (None disables wait-based shedding; the depth bound still applies).
+    admission_wait_budget_us: float | None = 30_000.0
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self) -> "ServingConfig":
+        if self.queue_capacity < 1:
+            raise ConfigError("serve_queue_capacity must be at least 1")
+        if self.max_batch < 1:
+            raise ConfigError("serve_max_batch must be at least 1")
+        if self.max_wait_us < 0:
+            raise ConfigError("serve_max_wait_us must be non-negative")
+        if self.slo_us <= 0:
+            raise ConfigError("serve_slo_us must be positive")
+        if (
+            self.admission_wait_budget_us is not None
+            and self.admission_wait_budget_us <= 0
+        ):
+            raise ConfigError(
+                "serve_admission_wait_budget_us must be positive or None"
+            )
+        return self
+
+
+@dataclass
+class FreshTierConfig:
+    """LSM-style memory tier for the write path (docs/fresh-tier.md).
+
+    Inserts land in an in-memory tier searched alongside the disk index;
+    a background flush batch-appends them to postings (one tail-block
+    rewrite per posting per flush) and runs LIRE once per flush instead
+    of once per insert. Off by default: the classic per-insert append
+    path stays bit-identical to earlier revisions.
+    """
+
+    enabled: bool = False
+    flush_threshold: int = 128  # buffered vectors that trigger a flush
+    insert_cpu_us: float = 2.0  # modelled cost of a tier insert
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self) -> "FreshTierConfig":
+        if self.flush_threshold < 1:
+            raise ConfigError("fresh_flush_threshold must be at least 1")
+        if self.insert_cpu_us < 0:
+            raise ConfigError("fresh_insert_cpu_us must be non-negative")
+        return self
+
+
+@dataclass
+class QuantizeConfig:
+    """Compressed posting scans (repro.quantize, docs/quantization.md).
+
+    When enabled, postings store compact codes next to the exact vectors;
+    searches scan the code section with a fused ADC kernel and rerank the
+    best ``k * rerank_k`` candidates against the exact vectors. Off by
+    default: the classic full-vector scan stays bit-identical.
+    """
+
+    enabled: bool = False
+    kind: str = "pq"  # "pq" (product) or "sq8" (per-dim scalar)
+    pq_subspaces: int = 8  # uint8 codes per vector when kind == "pq"
+    pq_codebook_size: int = 256  # codewords per subspace (2..256)
+    rerank_k: int = 4  # rerank the top k * rerank_k ADC candidates
+    train_sample: int = 4096  # build-time codebook training sample
+    train_iters: int = 8  # k-means iterations per subspace
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self) -> "QuantizeConfig":
+        if self.kind not in ("pq", "sq8"):
+            raise ConfigError(f"unknown quantizer kind {self.kind!r}")
+        if self.pq_subspaces < 1:
+            raise ConfigError("quant_subspaces must be at least 1")
+        if not 2 <= self.pq_codebook_size <= 256:
+            raise ConfigError("quant_codebook_size must be in [2, 256]")
+        if self.rerank_k < 1:
+            raise ConfigError("quant_rerank_k must be at least 1")
+        if self.train_sample < 1:
+            raise ConfigError("quant_train_sample must be at least 1")
+        if self.train_iters < 1:
+            raise ConfigError("quant_train_iters must be at least 1")
+        return self
+
+
+# Flat back-compat aliases: historical knob name -> (sub-config, attribute).
+_FLAT_ALIASES: dict[str, tuple[str, str]] = {
+    "serve_queue_capacity": ("serving", "queue_capacity"),
+    "serve_max_batch": ("serving", "max_batch"),
+    "serve_max_wait_us": ("serving", "max_wait_us"),
+    "serve_slo_us": ("serving", "slo_us"),
+    "serve_admission_wait_budget_us": ("serving", "admission_wait_budget_us"),
+    "enable_fresh_tier": ("fresh_tier", "enabled"),
+    "fresh_flush_threshold": ("fresh_tier", "flush_threshold"),
+    "fresh_insert_cpu_us": ("fresh_tier", "insert_cpu_us"),
+    "quant_enabled": ("quantize", "enabled"),
+    "quant_kind": ("quantize", "kind"),
+    "quant_subspaces": ("quantize", "pq_subspaces"),
+    "quant_codebook_size": ("quantize", "pq_codebook_size"),
+    "quant_rerank_k": ("quantize", "rerank_k"),
+    "quant_train_sample": ("quantize", "train_sample"),
+    "quant_train_iters": ("quantize", "train_iters"),
+}
+
+_SECTIONS = ("serving", "fresh_tier", "quantize")
 
 
 @dataclass
@@ -76,24 +202,10 @@ class SPFreshConfig:
     background_workers: int = 2
     synchronous_rebuild: bool = True  # run LIRE jobs inline (deterministic)
 
-    # --- fresh tier (LSM-style memory tier, docs/fresh-tier.md) ---
-    # Inserts land in an in-memory tier searched alongside the disk index;
-    # a background flush batch-appends them to postings (one tail-block
-    # rewrite per posting per flush) and runs LIRE once per flush instead
-    # of once per insert. Off by default: the classic per-insert append
-    # path stays bit-identical to earlier revisions.
-    enable_fresh_tier: bool = False
-    fresh_flush_threshold: int = 128  # buffered vectors that trigger a flush
-    fresh_insert_cpu_us: float = 2.0  # modelled cost of a tier insert
-
-    # --- serving front-end (repro.serving, docs/serving.md) ---
-    serve_queue_capacity: int = 256  # bounded request queue depth
-    serve_max_batch: int = 32  # dynamic batcher size trigger
-    serve_max_wait_us: float = 1500.0  # dynamic batcher time trigger
-    serve_slo_us: float = 15_000.0  # end-to-end latency SLO
-    # Admission sheds when the modelled queue wait exceeds this budget
-    # (None disables wait-based shedding; the depth bound still applies).
-    serve_admission_wait_budget_us: float | None = 30_000.0
+    # --- subsystems (nested sub-configs; flat aliases still accepted) ---
+    fresh_tier: FreshTierConfig = field(default_factory=FreshTierConfig)
+    serving: ServingConfig = field(default_factory=ServingConfig)
+    quantize: QuantizeConfig = field(default_factory=QuantizeConfig)
 
     # --- misc ---
     # Wall-clock profiler (repro.metrics.profiling). Off by default: the
@@ -137,30 +249,36 @@ class SPFreshConfig:
             )
         if self.enable_reassign and not self.enable_split:
             raise ConfigError("enable_reassign requires enable_split")
-        if self.fresh_flush_threshold < 1:
-            raise ConfigError("fresh_flush_threshold must be at least 1")
-        if self.fresh_insert_cpu_us < 0:
-            raise ConfigError("fresh_insert_cpu_us must be non-negative")
-        if self.serve_queue_capacity < 1:
-            raise ConfigError("serve_queue_capacity must be at least 1")
-        if self.serve_max_batch < 1:
-            raise ConfigError("serve_max_batch must be at least 1")
-        if self.serve_max_wait_us < 0:
-            raise ConfigError("serve_max_wait_us must be non-negative")
-        if self.serve_slo_us <= 0:
-            raise ConfigError("serve_slo_us must be positive")
+        self.fresh_tier.validate()
+        self.serving.validate()
+        self.quantize.validate()
         if (
-            self.serve_admission_wait_budget_us is not None
-            and self.serve_admission_wait_budget_us <= 0
+            self.quantize.enabled
+            and self.quantize.kind == "pq"
+            and self.dim % self.quantize.pq_subspaces != 0
         ):
             raise ConfigError(
-                "serve_admission_wait_budget_us must be positive or None"
+                f"dim {self.dim} must be divisible by quant_subspaces "
+                f"{self.quantize.pq_subspaces}"
             )
         return self
 
     def with_overrides(self, **kwargs) -> "SPFreshConfig":
-        """Functional update used heavily by the ablation benches."""
-        return replace(self, **kwargs).validate()
+        """Functional update used heavily by the ablation benches.
+
+        Accepts both nested fields (``serving=ServingConfig(...)``) and
+        flat aliases (``serve_max_batch=4``). Nested sub-configs not
+        explicitly replaced are deep-copied so the new config never
+        shares mutable sub-config state with ``self``.
+        """
+        flat = {k: kwargs.pop(k) for k in list(kwargs) if k in _FLAT_ALIASES}
+        for section in _SECTIONS:
+            if section not in kwargs:
+                kwargs[section] = replace(getattr(self, section))
+        out = replace(self, **kwargs)
+        for name, value in flat.items():
+            setattr(out, name, value)
+        return out.validate()
 
     @classmethod
     def spann_plus(cls, **kwargs) -> "SPFreshConfig":
@@ -168,3 +286,35 @@ class SPFreshConfig:
         base = dict(enable_split=False, enable_merge=False, enable_reassign=False)
         base.update(kwargs)
         return cls(**base).validate()
+
+
+def _alias(section: str, attr: str) -> property:
+    def getter(self):
+        return getattr(getattr(self, section), attr)
+
+    def setter(self, value) -> None:
+        setattr(getattr(self, section), attr, value)
+
+    return property(getter, setter)
+
+
+for _name, (_section, _attr) in _FLAT_ALIASES.items():
+    setattr(SPFreshConfig, _name, _alias(_section, _attr))
+del _name, _section, _attr
+
+# Accept flat aliases as constructor keywords too, so historical call
+# sites like SPFreshConfig(enable_fresh_tier=True, serve_max_batch=4)
+# keep working unchanged. Aliases are applied after the generated
+# __init__, so they win over a simultaneously-passed sub-config.
+_GENERATED_INIT = SPFreshConfig.__init__
+
+
+def _init_with_aliases(self, *args, **kwargs) -> None:
+    flat = {k: kwargs.pop(k) for k in list(kwargs) if k in _FLAT_ALIASES}
+    _GENERATED_INIT(self, *args, **kwargs)
+    for name, value in flat.items():
+        setattr(self, name, value)
+
+
+_init_with_aliases.__wrapped__ = _GENERATED_INIT
+SPFreshConfig.__init__ = _init_with_aliases

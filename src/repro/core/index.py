@@ -8,7 +8,13 @@ vector-database user expects::
     index = SPFreshIndex.build(vectors, config=SPFreshConfig(dim=32))
     index.insert(vector_id, vector)
     index.delete(vector_id)
-    result = index.search(query, k=10)
+    response = index.query(QueryRequest.single(query, k=10))
+    response.ids, response.distances, response.latency_us
+
+Queries travel as typed :class:`~repro.api.QueryRequest` objects (knobs:
+``nprobe``, ``rerank_k``, ``quantized``, ``tenant``); the positional
+``search(vector, k)`` form survives for external callers but is
+deprecated — see ``docs/api.md``.
 
 Construction paths: :meth:`build` (static SPANN build), :meth:`recover`
 (snapshot + WAL replay after a crash). Rebuild jobs run inline by default
@@ -20,6 +26,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.api import QueryRequest, SearchResponse, warn_legacy_query
 from repro.centroids import make_centroid_index
 from repro.core.config import SPFreshConfig
 from repro.core.fresh_tier import FreshTier
@@ -33,7 +40,8 @@ from repro.metrics.profiling import Profiler, format_report
 from repro.spann.build import build_plan
 from repro.spann.searcher import SearchResult, SpannSearcher
 from repro.storage.controller import BlockController
-from repro.storage.layout import PostingCodec, PostingData
+from repro.quantize import make_quantizer
+from repro.storage.layout import PostingCodec, PostingData, QuantizedPostingCodec
 from repro.storage.snapshot import SnapshotManager
 from repro.storage.ssd import SimulatedSSD, SSDProfile
 from repro.storage.wal import WriteAheadLog
@@ -105,6 +113,9 @@ class SPFreshIndex:
             profiler=self.profiler,
             fresh_tier=self.fresh_tier,
         )
+        # The fitted quantizer lives on the codec when the index stores
+        # compressed codes (docs/quantization.md); None on the exact layout.
+        self.quantizer = getattr(controller.codec, "quantizer", None)
         self.searcher = SpannSearcher(
             centroid_index,
             controller,
@@ -117,6 +128,7 @@ class SPFreshIndex:
             prune_epsilon=config.search_prune_epsilon,
             profiler=self.profiler,
             fresh_tier=self.fresh_tier,
+            rerank_k=config.quantize.rerank_k,
         )
         self._background_running = False
         # Populated by restore_index() after a crash recovery; None for a
@@ -164,7 +176,29 @@ class SPFreshIndex:
                 queue_depth=config.queue_depth,
             ),
         )
-        codec = PostingCodec(config.dim, config.block_size)
+        if config.quantize.enabled:
+            # Codebooks are trained once at build time on (a sample of)
+            # the base vectors, then persisted in snapshots; the codec
+            # owns the fitted quantizer so every posting rewrite re-encodes
+            # codes deterministically (docs/quantization.md).
+            quantizer = make_quantizer(
+                config.quantize.kind,
+                config.dim,
+                subspaces=config.quantize.pq_subspaces,
+                codebook_size=config.quantize.pq_codebook_size,
+            )
+            if config.quantize.kind == "pq":
+                quantizer.fit(
+                    vectors,
+                    rng,
+                    max_iters=config.quantize.train_iters,
+                    sample_size=config.quantize.train_sample,
+                )
+            else:
+                quantizer.fit(vectors, rng)
+            codec = QuantizedPostingCodec(config.dim, config.block_size, quantizer)
+        else:
+            codec = PostingCodec(config.dim, config.block_size)
         controller = BlockController(ssd, codec)
         version_map = VersionMap(initial_capacity=max(int(ids.max()) + 1, 1024))
         for vid in ids:
@@ -222,15 +256,67 @@ class SPFreshIndex:
     # ------------------------------------------------------------------
     # queries and updates
     # ------------------------------------------------------------------
-    def search(self, query: np.ndarray, k: int, nprobe: int | None = None) -> SearchResult:
-        """Approximate k-NN search over live vectors."""
-        result = self.searcher.search(as_vector(query, self.config.dim), k, nprobe)
+    def query(self, request: QueryRequest) -> SearchResponse:
+        """Answer a typed :class:`~repro.api.QueryRequest`.
+
+        The one search entry point every other signature funnels into:
+        single-vector requests run the scalar searcher path, batches the
+        vectorized one, and both share the maintenance side effect
+        (undersized postings seen during navigation schedule merge jobs).
+        """
+        if not isinstance(request, QueryRequest):
+            raise TypeError(
+                f"query() wants a repro.api.QueryRequest, got "
+                f"{type(request).__name__}"
+            )
+        if request.is_single:
+            results = [
+                self.searcher.search(
+                    as_vector(request.vectors[0], self.config.dim),
+                    request.k,
+                    request.nprobe,
+                    rerank_k=request.rerank_k,
+                    quantized=request.quantized,
+                )
+            ]
+        else:
+            results = self.searcher.search_many(
+                as_matrix(request.vectors, self.config.dim),
+                request.k,
+                request.nprobe,
+                rerank_k=request.rerank_k,
+                quantized=request.quantized,
+            )
         if self.config.enable_merge:
-            for pid in result.undersized_postings:
-                self.job_queue.put(MergeJob(posting_id=pid))
-            if result.undersized_postings and self.config.synchronous_rebuild:
+            scheduled = False
+            for result in results:
+                for pid in result.undersized_postings:
+                    scheduled = (
+                        self.job_queue.put(MergeJob(posting_id=pid)) or scheduled
+                    )
+            if scheduled and self.config.synchronous_rebuild:
                 self.rebuilder.drain()
-        return result
+        return SearchResponse(results=tuple(results), request=request)
+
+    def search(self, query, k: int | None = None, nprobe: int | None = None):
+        """Search facade: ``QueryRequest`` in, :class:`SearchResponse` out.
+
+        The positional form ``search(vector, k, nprobe)`` returning a
+        bare ``SearchResult`` is deprecated (kept for external callers).
+        """
+        if isinstance(query, QueryRequest):
+            if k is not None or nprobe is not None:
+                raise TypeError(
+                    "pass k/nprobe inside the QueryRequest, not alongside it"
+                )
+            return self.query(query)
+        warn_legacy_query("SPFreshIndex.search")
+        if k is None:
+            raise TypeError("search(vector, k) requires k")
+        request = QueryRequest.single(
+            as_vector(query, self.config.dim), k=k, nprobe=nprobe
+        )
+        return self.query(request).result
 
     def insert(self, vector_id: int, vector: np.ndarray) -> float:
         """Insert one vector; returns foreground simulated latency (us)."""
@@ -244,26 +330,31 @@ class SPFreshIndex:
         self._maybe_drain()
         return latency
 
-    def search_batch(
-        self, queries: np.ndarray, k: int, nprobe: int | None = None
-    ) -> list[SearchResult]:
-        """Batched search: one ParallelGET submission serves all queries.
+    def search_batch(self, queries, k: int | None = None, nprobe: int | None = None):
+        """Batched search facade: one ParallelGET serves all queries.
 
-        Maintenance parity with :meth:`search`: undersized postings seen by
-        any query in the batch schedule merge jobs (deduplicated by the
-        queue), so batch-only workloads keep the index balanced too.
+        ``QueryRequest`` in → :class:`SearchResponse` out. The positional
+        ``search_batch(matrix, k, nprobe)`` form returning a list of
+        ``SearchResult`` is deprecated (kept for external callers).
         """
-        results = self.searcher.search_many(
-            as_matrix(queries, self.config.dim), k, nprobe
-        )
-        if self.config.enable_merge:
-            scheduled = False
-            for result in results:
-                for pid in result.undersized_postings:
-                    scheduled = self.job_queue.put(MergeJob(posting_id=pid)) or scheduled
-            if scheduled and self.config.synchronous_rebuild:
-                self.rebuilder.drain()
-        return results
+        if isinstance(queries, QueryRequest):
+            if k is not None or nprobe is not None:
+                raise TypeError(
+                    "pass k/nprobe inside the QueryRequest, not alongside it"
+                )
+            return self.query(queries)
+        warn_legacy_query("SPFreshIndex.search_batch")
+        if k is None:
+            raise TypeError("search_batch(queries, k) requires k")
+        queries = as_matrix(queries, self.config.dim)
+        if len(queries) == 0:
+            return []
+        request = QueryRequest(vectors=queries, k=k, nprobe=nprobe)
+        return list(self.query(request).results)
+
+    # Batched alias so engine-shaped callers (serving frontend, sharded
+    # scatter-gather) can duck-type either name.
+    search_many = search_batch
 
     def insert_batch(self, ids: np.ndarray, vectors: np.ndarray) -> list[float]:
         vectors = as_matrix(vectors, self.config.dim)

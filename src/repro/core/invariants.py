@@ -19,6 +19,10 @@ queue drains:
 * **mapping coherence** — the Block Controller's posting table and the
   centroid index hold exactly the same posting ids (a split or merge that
   died halfway leaves an orphan on one side);
+* **code coherence** — on quantized indexes, every posting's stored code
+  column equals re-encoding its stored vectors (splits, merges, flushes,
+  and GC all kept the compact codes fresh; encoding is deterministic so
+  the comparison is exact);
 * **sampled NPA** — for a random sample of live vectors, the posting of
   the nearest centroid contains a live copy (the nearest-partition
   assignment property, §3.3; boundary ties are tolerated).
@@ -58,6 +62,11 @@ class InvariantReport:
     npa_allowance: int = 0
     fresh_tier_vectors: int = 0  # live rows buffered in the fresh tier
     stale_tier_entries: list[int] = field(default_factory=list)
+    # Quantized indexes: postings whose stored code column differs from
+    # re-encoding the stored vectors — (posting id, mismatching rows).
+    # Encoding is deterministic, so any mismatch means a rewrite path
+    # dropped code/vector coherence (docs/quantization.md).
+    code_mismatches: list[tuple[int, int]] = field(default_factory=list)
 
     @property
     def failures(self) -> list[str]:
@@ -85,6 +94,12 @@ class InvariantReport:
             out.append(
                 f"{len(self.stale_tier_entries)} deleted/stale rows still "
                 f"buffered in the fresh tier (e.g. {self.stale_tier_entries[:5]})"
+            )
+        if self.code_mismatches:
+            out.append(
+                f"{len(self.code_mismatches)} postings whose quantized codes "
+                f"disagree with re-encoding their vectors "
+                f"(e.g. {self.code_mismatches[:5]})"
             )
         if len(self.npa_violations) > self.npa_allowance:
             out.append(
@@ -145,6 +160,7 @@ def check_invariants(
     # per-posting length / centroid coherence.
     replica_postings: dict[int, set[int]] = {}
     sampled_vectors: dict[int, np.ndarray] = {}
+    quantizer = getattr(index, "quantizer", None)
     posting_ids = index.controller.posting_ids()
     report.postings = len(posting_ids)
     limit = index.config.max_posting_size + size_slack
@@ -161,6 +177,15 @@ def check_invariants(
             report.oversized_postings.append((pid, len(data)))
         if pid not in index.centroid_index:
             report.postings_without_centroid.append(pid)
+        if quantizer is not None and data.codes is not None and len(data):
+            # Encoding is a pure function of the fitted quantizer, so the
+            # stored code column must equal re-encoding the stored vectors
+            # bit for bit; a difference means some rewrite path (split,
+            # merge, flush, GC) broke code/vector coherence.
+            expected = quantizer.encode(data.vectors)
+            if not np.array_equal(expected, data.codes):
+                bad = int(np.count_nonzero(np.any(expected != data.codes, axis=1)))
+                report.code_mismatches.append((pid, bad))
         live = live_view(data, index.version_map)
         for row, vid in enumerate(live.ids):
             vid = int(vid)

@@ -71,13 +71,21 @@ class RecoveryReport:
 
 def collect_state(index) -> dict:
     """Gather a serializable snapshot of an index's in-memory state."""
-    return {
+    state = {
         "config_dim": index.config.dim,
         "controller": index.controller.state_dict(),
         "centroids": index.centroid_index.state_dict(),
         "version_map": index.version_map.state_dict(),
         "next_posting_id": index.posting_ids.peek(),
     }
+    quantizer = getattr(index, "quantizer", None)
+    if quantizer is not None:
+        # The fitted codebooks/ranges are part of the index: without them
+        # the code sections on disk are unreadable and re-encoding after
+        # restart would drift. ndarray state pickles through the snapshot
+        # layer unchanged.
+        state["quantizer"] = quantizer.state_dict()
+    return state
 
 
 def restore_index(
@@ -88,8 +96,9 @@ def restore_index(
     wal: WriteAheadLog | None = None,
 ):
     """Rebuild an index object from snapshot + WAL on a surviving device."""
+    from repro.quantize import quantizer_from_state
     from repro.storage.controller import BlockController
-    from repro.storage.layout import PostingCodec
+    from repro.storage.layout import PostingCodec, QuantizedPostingCodec
 
     state = snapshots.load()  # raises RecoveryError on integrity failure
     if state is None:
@@ -99,7 +108,32 @@ def restore_index(
             f"snapshot dim {state['config_dim']} != config dim {config.dim}"
         )
 
-    codec = PostingCodec(config.dim, config.block_size)
+    quantizer_state = state.get("quantizer")
+    if config.quantize.enabled:
+        if quantizer_state is None:
+            raise RecoveryError(
+                "config enables quantization but the snapshot carries no "
+                "quantizer state"
+            )
+        try:
+            quantizer = quantizer_from_state(quantizer_state)
+        except (KeyError, TypeError, ValueError) as exc:
+            raise RecoveryError(
+                f"snapshot quantizer state is unusable: {exc}"
+            ) from exc
+        if quantizer.dim != config.dim:
+            raise RecoveryError(
+                f"snapshot quantizer dim {quantizer.dim} != config dim "
+                f"{config.dim}"
+            )
+        codec = QuantizedPostingCodec(config.dim, config.block_size, quantizer)
+    else:
+        if quantizer_state is not None:
+            raise RecoveryError(
+                "snapshot was taken from a quantized index but the config "
+                "disables quantization"
+            )
+        codec = PostingCodec(config.dim, config.block_size)
     controller = BlockController(ssd, codec)
     try:
         controller.load_state_dict(state["controller"])

@@ -19,6 +19,7 @@ from concurrent.futures import ThreadPoolExecutor
 
 import numpy as np
 
+from repro.api import QueryRequest, SearchResponse, warn_legacy_query
 from repro.core.config import SPFreshConfig
 from repro.core.index import SPFreshIndex
 from repro.spann.postings import dedup_top_k
@@ -115,79 +116,40 @@ class ShardedSPFresh:
     # ------------------------------------------------------------------
     # search: scatter-gather
     # ------------------------------------------------------------------
-    def search(
-        self,
-        query: np.ndarray,
-        k: int,
-        nprobe: int | None = None,
-        parallel: bool = False,
-    ) -> SearchResult:
-        """Top-k over all shards; simulated latency = slowest shard + merge.
+    def query(self, request: QueryRequest, *, parallel: bool = False) -> SearchResponse:
+        """Scatter-gather a typed request: every shard answers the batch.
 
-        ``parallel=True`` dispatches shard searches on a thread pool (real
-        concurrency for wall-clock benches); the simulated latency model is
-        identical either way.
+        Each shard runs its vectorized path once over all queries (one
+        ParallelGET per shard for the whole batch), then the per-query
+        shard results merge by distance with replica dedup — same shard
+        order, same ``dedup_top_k`` — so per-query ids/distances are
+        bit-identical to the single-query path whenever the engine's own
+        batch/single parity holds. Simulated latency per query is the
+        *maximum* shard latency (shards run in parallel) plus a small
+        merge cost. ``parallel=True`` uses real threads for wall-clock
+        benches; the simulated model is identical either way.
         """
-        query = as_vector(query, self.shards[0].config.dim)
-        if parallel:
-            pool = self._ensure_pool()
-            results = list(
-                pool.map(lambda shard: shard.search(query, k, nprobe), self.shards)
+        if not isinstance(request, QueryRequest):
+            raise TypeError(
+                f"query() wants a repro.api.QueryRequest, got "
+                f"{type(request).__name__}"
             )
-        else:
-            results = [shard.search(query, k, nprobe) for shard in self.shards]
-        all_ids = np.concatenate([r.ids for r in results])
-        all_dists = np.concatenate([r.distances for r in results])
-        top_ids, top_dists = dedup_top_k(all_ids, all_dists, k)
-        return SearchResult(
-            ids=top_ids,
-            distances=top_dists,
-            latency_us=max(r.latency_us for r in results) + self.MERGE_COST_US,
-            postings_probed=sum(r.postings_probed for r in results),
-            entries_scanned=sum(r.entries_scanned for r in results),
-            io_latency_us=max(r.io_latency_us for r in results),
-            truncated=any(r.truncated for r in results),
+        request = request.with_vectors(
+            as_matrix(request.vectors, self.shards[0].config.dim)
         )
-
-    def search_many(
-        self,
-        queries: np.ndarray,
-        k: int,
-        nprobe: int | None = None,
-        parallel: bool = False,
-    ) -> list[SearchResult]:
-        """Batched scatter-gather: every shard answers the whole batch.
-
-        Each shard runs its vectorized ``search_batch`` once over all
-        queries (one ParallelGET per shard for the whole batch), then the
-        per-query shard results merge exactly like :meth:`search` — same
-        shard order, same ``dedup_top_k`` — so per-query ids/distances are
-        bit-identical to the single-query facade path whenever the
-        engine's own batch/single parity holds (the budget hard cut is
-        per-query only and does not apply in batch mode, matching
-        ``SpannSearcher.search_many``).
-        """
-        queries = as_matrix(queries, self.shards[0].config.dim)
-        if len(queries) == 0:
-            return []
         if parallel:
             pool = self._ensure_pool()
             per_shard = list(
-                pool.map(
-                    lambda shard: shard.search_batch(queries, k, nprobe),
-                    self.shards,
-                )
+                pool.map(lambda shard: shard.query(request).results, self.shards)
             )
         else:
-            per_shard = [
-                shard.search_batch(queries, k, nprobe) for shard in self.shards
-            ]
+            per_shard = [shard.query(request).results for shard in self.shards]
         merged: list[SearchResult] = []
-        for qi in range(len(queries)):
+        for qi in range(len(request.vectors)):
             results = [shard_results[qi] for shard_results in per_shard]
             all_ids = np.concatenate([r.ids for r in results])
             all_dists = np.concatenate([r.distances for r in results])
-            top_ids, top_dists = dedup_top_k(all_ids, all_dists, k)
+            top_ids, top_dists = dedup_top_k(all_ids, all_dists, request.k)
             merged.append(
                 SearchResult(
                     ids=top_ids,
@@ -200,7 +162,52 @@ class ShardedSPFresh:
                     truncated=any(r.truncated for r in results),
                 )
             )
-        return merged
+        return SearchResponse(results=tuple(merged), request=request)
+
+    def search(
+        self,
+        query,
+        k: int | None = None,
+        nprobe: int | None = None,
+        parallel: bool = False,
+    ):
+        """Search facade; positional form deprecated (see docs/api.md)."""
+        if isinstance(query, QueryRequest):
+            if k is not None or nprobe is not None:
+                raise TypeError(
+                    "pass k/nprobe inside the QueryRequest, not alongside it"
+                )
+            return self.query(query, parallel=parallel)
+        warn_legacy_query("ShardedSPFresh.search")
+        if k is None:
+            raise TypeError("search(vector, k) requires k")
+        request = QueryRequest.single(
+            as_vector(query, self.shards[0].config.dim), k=k, nprobe=nprobe
+        )
+        return self.query(request, parallel=parallel).result
+
+    def search_many(
+        self,
+        queries,
+        k: int | None = None,
+        nprobe: int | None = None,
+        parallel: bool = False,
+    ):
+        """Batched facade; positional form deprecated (see docs/api.md)."""
+        if isinstance(queries, QueryRequest):
+            if k is not None or nprobe is not None:
+                raise TypeError(
+                    "pass k/nprobe inside the QueryRequest, not alongside it"
+                )
+            return self.query(queries, parallel=parallel)
+        warn_legacy_query("ShardedSPFresh.search_many")
+        if k is None:
+            raise TypeError("search_many(queries, k) requires k")
+        queries = as_matrix(queries, self.shards[0].config.dim)
+        if len(queries) == 0:
+            return []
+        request = QueryRequest(vectors=queries, k=k, nprobe=nprobe)
+        return list(self.query(request, parallel=parallel).results)
 
     # ``ServingFrontend`` resolves engines by this name too.
     search_batch = search_many

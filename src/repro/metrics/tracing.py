@@ -127,14 +127,29 @@ class TracedIndex:
         self._index = index
         self.trace = log or TraceLog()
 
-    def search(self, query, k, nprobe=None):
-        result = self._index.search(query, k, nprobe)
-        self.trace.record(
-            "search",
-            result.latency_us,
-            detail={"postings": result.postings_probed},
-        )
-        return result
+    def query(self, request):
+        response = self._index.query(request)
+        for result in response.results:
+            self.trace.record(
+                "search",
+                result.latency_us,
+                detail={"postings": result.postings_probed},
+            )
+        return response
+
+    def search(self, query, k=None, nprobe=None):
+        from repro.api import QueryRequest, warn_legacy_query
+
+        if isinstance(query, QueryRequest):
+            if k is not None or nprobe is not None:
+                raise TypeError(
+                    "pass k/nprobe inside the QueryRequest, not alongside it"
+                )
+            return self.query(query)
+        warn_legacy_query("TracedIndex.search")
+        if k is None:
+            raise TypeError("search(vector, k) requires k")
+        return self.query(QueryRequest.single(query, k=k, nprobe=nprobe)).result
 
     def insert(self, vector_id, vector):
         latency = self._index.insert(vector_id, vector)

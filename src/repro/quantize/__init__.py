@@ -1,0 +1,25 @@
+"""Vector quantization for compact posting scans (PQ + scalar SQ).
+
+See docs/quantization.md for the layout, the fused ADC kernel, and the
+scan-compressed / rerank-exact discipline the searcher follows.
+"""
+
+from repro.quantize.base import (
+    VectorQuantizer,
+    adc_scan,
+    adc_scan_brute,
+    make_quantizer,
+    quantizer_from_state,
+)
+from repro.quantize.pq import ProductQuantizer
+from repro.quantize.sq import ScalarQuantizer
+
+__all__ = [
+    "VectorQuantizer",
+    "ProductQuantizer",
+    "ScalarQuantizer",
+    "adc_scan",
+    "adc_scan_brute",
+    "make_quantizer",
+    "quantizer_from_state",
+]

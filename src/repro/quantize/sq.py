@@ -1,0 +1,122 @@
+"""Per-dimension affine scalar quantization (int8-style, stored as uint8).
+
+The cheap alternative to PQ: each dimension d gets an affine range
+``[lo[d], hi[d]]`` learned from the training sample, and a vector is
+stored as one uint8 per dimension — ``code = round((v - lo) / scale)``
+with ``scale = (hi - lo) / 255``. The reconstruction error per dimension
+is bounded by ``scale / 2`` for in-range inputs (out-of-range values
+clamp to the range edge), which the hypothesis round-trip suite pins.
+
+ADC works through the exact same fused kernel as PQ by treating every
+dimension as a one-dimensional subspace with a 256-entry "codebook" of
+reconstruction levels: ``table[q, d, c] = (query[q, d] - (lo[d] +
+c * scale[d]))**2``. That keeps the searcher quantizer-agnostic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.quantize.base import VectorQuantizer
+
+_LEVELS = 256
+
+
+class ScalarQuantizer(VectorQuantizer):
+    """Uint8 affine scalar quantizer with per-dimension ranges."""
+
+    kind = "sq8"
+
+    def __init__(self, dim: int) -> None:
+        if dim <= 0:
+            raise ValueError("dim must be positive")
+        self.dim = dim
+        self.code_bytes = dim
+        self.lo: np.ndarray | None = None  # (dim,) float32
+        self.scale: np.ndarray | None = None  # (dim,) float32, always > 0
+
+    @property
+    def is_fitted(self) -> bool:
+        return self.lo is not None
+
+    def fit(
+        self, vectors: np.ndarray, rng: np.random.Generator | None = None
+    ) -> "ScalarQuantizer":
+        """Learn per-dimension [lo, hi] ranges from the training data."""
+        vectors = np.ascontiguousarray(vectors, dtype=np.float32)
+        if vectors.ndim == 1:
+            vectors = vectors.reshape(1, -1)
+        if vectors.shape[1] != self.dim:
+            raise ValueError(f"vectors have dim {vectors.shape[1]}, expected {self.dim}")
+        if len(vectors) == 0:
+            raise ValueError("cannot fit ScalarQuantizer on an empty training set")
+        lo = vectors.min(axis=0).astype(np.float32)
+        hi = vectors.max(axis=0).astype(np.float32)
+        span = (hi - lo).astype(np.float64)
+        # Degenerate (constant) dimensions get scale 1 so encode/decode
+        # stay well-defined: every value maps to code 0 → exact round-trip.
+        scale = np.where(span > 0.0, span / (_LEVELS - 1), 1.0)
+        self.lo = lo
+        self.scale = scale.astype(np.float32)
+        return self
+
+    def _require_fitted(self) -> None:
+        if not self.is_fitted:
+            raise RuntimeError("ScalarQuantizer.fit must be called first")
+
+    def encode(self, vectors: np.ndarray) -> np.ndarray:
+        """Quantize vectors to (n, dim) uint8 codes."""
+        self._require_fitted()
+        vectors = np.ascontiguousarray(vectors, dtype=np.float32)
+        if vectors.ndim == 1:
+            vectors = vectors.reshape(1, -1)
+        steps = (vectors - self.lo) / self.scale
+        return np.clip(np.rint(steps), 0, _LEVELS - 1).astype(np.uint8)
+
+    def decode(self, codes: np.ndarray) -> np.ndarray:
+        """Reconstruct approximate vectors from codes."""
+        self._require_fitted()
+        codes = np.asarray(codes, dtype=np.uint8)
+        if codes.ndim == 1:
+            codes = codes.reshape(1, -1)
+        return (codes.astype(np.float32) * self.scale + self.lo).astype(
+            np.float32, copy=False
+        )
+
+    def distance_tables(self, queries: np.ndarray) -> np.ndarray:
+        """Per-query ADC tables: ``(nq, dim, 256)`` squared residuals."""
+        self._require_fitted()
+        queries = np.ascontiguousarray(queries, dtype=np.float32)
+        if queries.ndim == 1:
+            queries = queries.reshape(1, -1)
+        levels = (
+            np.arange(_LEVELS, dtype=np.float32)[None, :] * self.scale[:, None]
+            + self.lo[:, None]
+        )  # (dim, 256) reconstruction levels
+        diff = queries[:, :, None] - levels[None, :, :]
+        return np.square(diff, out=diff)
+
+    def state_dict(self) -> dict:
+        state: dict = {"kind": self.kind, "dim": self.dim}
+        if self.lo is not None:
+            state["lo"] = np.array(self.lo, copy=True)
+            state["scale"] = np.array(self.scale, copy=True)
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        if int(state["dim"]) != self.dim:
+            raise ValueError("SQ state dim does not match this quantizer")
+        lo = state.get("lo")
+        scale = state.get("scale")
+        if (lo is None) != (scale is None):
+            raise ValueError("SQ state must carry both lo and scale or neither")
+        if lo is not None:
+            lo = np.ascontiguousarray(lo, dtype=np.float32)
+            scale = np.ascontiguousarray(scale, dtype=np.float32)
+            if lo.shape != (self.dim,) or scale.shape != (self.dim,):
+                raise ValueError("SQ state arrays have the wrong shape")
+        self.lo = lo
+        self.scale = scale
+
+    def state_bytes(self) -> int:
+        return 2 * self.dim * 4

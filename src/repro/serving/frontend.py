@@ -36,6 +36,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.api import QueryRequest
 from repro.datasets.arrival import ArrivalTrace
 from repro.metrics.latency import percentile_metrics
 from repro.serving.admission import AdmissionController
@@ -193,6 +194,8 @@ class ServingFrontend:
         *,
         k: int,
         nprobe: int | None = None,
+        rerank_k: int | None = None,
+        quantized: bool | None = None,
         queue_capacity: int = 256,
         max_batch: int = 32,
         max_wait_us: float = 1500.0,
@@ -202,16 +205,28 @@ class ServingFrontend:
     ) -> None:
         if slo_us <= 0:
             raise ValueError("slo_us must be positive")
-        self._search = getattr(engine, "search_many", None) or getattr(
-            engine, "search_batch", None
-        )
-        if self._search is None:
-            raise TypeError(
-                "engine must expose search_many or search_batch"
+        # Typed-API engines (SPFreshIndex, ShardedSPFresh) take a
+        # QueryRequest through ``query``; bare searcher-level engines
+        # (SpannSearcher) keep their internal positional signature.
+        self._query = getattr(engine, "query", None)
+        if self._query is None:
+            self._search = getattr(engine, "search_many", None) or getattr(
+                engine, "search_batch", None
             )
+            if self._search is None:
+                raise TypeError(
+                    "engine must expose query, search_many, or search_batch"
+                )
+            if rerank_k is not None or quantized is not None:
+                raise TypeError(
+                    "rerank_k/quantized knobs need a QueryRequest-capable "
+                    "engine (one exposing query())"
+                )
         self.engine = engine
         self.k = k
         self.nprobe = nprobe
+        self.rerank_k = rerank_k
+        self.quantized = quantized
         self.slo_us = slo_us
         self.keep_results = keep_results
         self.batcher = DynamicBatcher(max_batch=max_batch, max_wait_us=max_wait_us)
@@ -226,15 +241,29 @@ class ServingFrontend:
         cls, engine, config, *, k: int, nprobe: int | None = None, **overrides
     ) -> "ServingFrontend":
         """Build a frontend from ``SPFreshConfig``'s serving knobs."""
+        serving = config.serving
         kwargs = dict(
-            queue_capacity=config.serve_queue_capacity,
-            max_batch=config.serve_max_batch,
-            max_wait_us=config.serve_max_wait_us,
-            slo_us=config.serve_slo_us,
-            admission_wait_budget_us=config.serve_admission_wait_budget_us,
+            queue_capacity=serving.queue_capacity,
+            max_batch=serving.max_batch,
+            max_wait_us=serving.max_wait_us,
+            slo_us=serving.slo_us,
+            admission_wait_budget_us=serving.admission_wait_budget_us,
         )
         kwargs.update(overrides)
         return cls(engine, k=k, nprobe=nprobe, **kwargs)
+
+    def _run_batch(self, queries: np.ndarray) -> list:
+        """Answer one dispatched batch through the engine's best surface."""
+        if self._query is not None:
+            request = QueryRequest(
+                vectors=queries,
+                k=self.k,
+                nprobe=self.nprobe,
+                rerank_k=self.rerank_k,
+                quantized=self.quantized,
+            )
+            return list(self._query(request).results)
+        return self._search(queries, self.k, self.nprobe)
 
     # ------------------------------------------------------------------
     def run(self, trace: ArrivalTrace) -> ServingReport:
@@ -280,7 +309,7 @@ class ServingFrontend:
             # start at ``dispatch_at`` (engine serial).
             batch = self.batcher.take(queue)
             rows = [r.query_index for r in batch]
-            results = self._search(trace.queries[rows], self.k, self.nprobe)
+            results = self._run_batch(trace.queries[rows])
             io_us = max(r.io_latency_us for r in results)
             cpu_us = sum(r.latency_us - r.io_latency_us for r in results)
             service_us = io_us + cpu_us

@@ -22,9 +22,16 @@ import numpy as np
 
 from repro.centroids.base import CentroidIndex, CentroidSearchResult
 from repro.metrics.profiling import NULL_PROFILER, Profiler
+from repro.quantize.base import adc_scan
 from repro.spann.postings import dedup_top_k, live_view
 from repro.storage.controller import BlockController
-from repro.util.distance import as_matrix, as_vector, pairwise_sq_l2_exact, sq_l2_batch
+from repro.util.distance import (
+    as_matrix,
+    as_vector,
+    pairwise_sq_l2_exact,
+    sq_l2_batch,
+    top_k_smallest,
+)
 from repro.util.errors import StalePostingError
 
 
@@ -41,6 +48,7 @@ class SearchResult:
     truncated: bool = False
     undersized_postings: list[int] = field(default_factory=list)
     fresh_entries_scanned: int = 0  # in-memory tier rows merged into top-k
+    reranked_entries: int = 0  # exact-vector rows fetched by the rerank step
 
     def __len__(self) -> int:
         return len(self.ids)
@@ -63,6 +71,7 @@ class SpannSearcher:
         prune_epsilon: float | None = None,
         profiler: Profiler | None = None,
         fresh_tier=None,
+        rerank_k: int = 4,
     ) -> None:
         self.centroid_index = centroid_index
         self.controller = controller
@@ -73,6 +82,13 @@ class SpannSearcher:
         self.cpu_cost_per_entry_us = cpu_cost_per_entry_us
         self.cpu_cost_per_query_us = cpu_cost_per_query_us
         self.min_posting_size = min_posting_size
+        # Quantized scan support (docs/quantization.md): when the codec is
+        # sectioned, searches default to scanning compact codes with the
+        # fused ADC kernel and reranking the best k * rerank_k candidates
+        # against exact vectors. ``quantized=False`` per query falls back
+        # to the exact full-posting scan over the same layout.
+        self.rerank_k = rerank_k
+        self._sectioned = bool(getattr(controller.codec, "sectioned", False))
         # SPANN's query-aware dynamic pruning: skip candidate postings
         # whose centroid distance exceeds (1 + eps) x the nearest centroid
         # distance — easy queries touch fewer postings. None disables.
@@ -83,8 +99,32 @@ class SpannSearcher:
         self.fresh_tier = fresh_tier
 
     # ------------------------------------------------------------------
+    def _resolve_quantized(self, quantized: bool | None) -> bool:
+        use_quant = self._sectioned if quantized is None else bool(quantized)
+        if use_quant and not self._sectioned:
+            raise ValueError(
+                "quantized search requires a quantized (sectioned) codec"
+            )
+        return use_quant
+
+    def _scan_entry_cost(self, use_quant: bool) -> float:
+        """Modelled CPU per scanned entry.
+
+        The exact scan computes a full ``dim``-component distance per
+        entry; the ADC scan does ``code_bytes`` table lookups, so its
+        per-entry cost shrinks by the components-touched ratio (capped at
+        1: SQ8 touches every dimension and saves IO, not scan CPU).
+        """
+        if not use_quant:
+            return self.cpu_cost_per_entry_us
+        codec = self.controller.codec
+        return self.cpu_cost_per_entry_us * min(1.0, codec.code_bytes / codec.dim)
+
     def _budget_prefix(
-        self, posting_ids: list[int], extra_entries: int = 0
+        self,
+        posting_ids: list[int],
+        extra_entries: int = 0,
+        use_quant: bool = False,
     ) -> tuple[list[int], bool]:
         """Longest prefix of candidate postings that fits the latency budget.
 
@@ -94,30 +134,43 @@ class SpannSearcher:
         decision and the reported latency agree. ``extra_entries`` seeds
         the CPU term with work outside the probe list (the fresh-tier
         scan), keeping that agreement when the tier is enabled.
+
+        Under a quantized scan the projection counts only the code-block
+        prefix of each posting and the cheaper ADC per-entry cost; the
+        rerank fetch is bounded by ``k * rerank_k`` rows and is not part
+        of the truncation decision (it is still charged to the reported
+        latency of non-truncated queries).
         """
         if self.latency_budget_us is None:
             return posting_ids, False
         profile = self.controller.ssd.profile
         codec = self.controller.codec
+        entry_cost = self._scan_entry_cost(use_quant)
         cum_blocks = 0
-        cum_entries = extra_entries
+        cum_cpu = self.cpu_cost_per_query_us + self.cpu_cost_per_entry_us * (
+            extra_entries
+        )
         kept: list[int] = []
         for pid in posting_ids:
             try:
                 length = self.controller.length(pid)
             except StalePostingError:
                 continue
-            blocks = codec.blocks_needed(length)
+            blocks = (
+                codec.scan_blocks_needed(length)
+                if use_quant
+                else codec.blocks_needed(length)
+            )
             projected = (
                 profile.read_batch_latency_us(cum_blocks + blocks)
-                + self.cpu_cost_per_query_us
-                + self.cpu_cost_per_entry_us * (cum_entries + length)
+                + cum_cpu
+                + entry_cost * length
             )
             if kept and projected > self.latency_budget_us:
                 return kept, True
             kept.append(pid)
             cum_blocks += blocks
-            cum_entries += length
+            cum_cpu += entry_cost * length
         return kept, False
 
     def _prune(self, hits: CentroidSearchResult) -> list[int]:
@@ -134,11 +187,27 @@ class SpannSearcher:
         return hits.posting_ids.tolist()
 
     def search(
-        self, query: np.ndarray, k: int, nprobe: int | None = None
+        self,
+        query: np.ndarray,
+        k: int,
+        nprobe: int | None = None,
+        *,
+        rerank_k: int | None = None,
+        quantized: bool | None = None,
     ) -> SearchResult:
-        """Return the approximate ``k`` nearest live vectors to ``query``."""
+        """Return the approximate ``k`` nearest live vectors to ``query``.
+
+        ``quantized`` overrides the codec-derived default (compressed scan
+        iff the index stores codes); ``rerank_k`` overrides the searcher's
+        rerank candidate multiplier for this query only.
+        """
         query = as_vector(query, self.centroid_index.dim)
         nprobe = nprobe or self.default_nprobe
+        use_quant = self._resolve_quantized(quantized)
+        if use_quant:
+            return self._search_quantized(
+                query, k, nprobe, rerank_k=rerank_k or self.rerank_k
+            )
         fresh_ids = fresh_matrix = None
         fresh_entries = 0
         if self.fresh_tier is not None and len(self.fresh_tier) > 0:
@@ -206,6 +275,171 @@ class SpannSearcher:
             fresh_entries_scanned=fresh_entries,
         )
 
+    def _live_masks(self, items: list[tuple[int, object]]) -> dict[int, object]:
+        """Per-posting live masks with ONE version-map round trip.
+
+        ``None`` for a posting means every entry is live (the common
+        steady state and the version-map-less case) — callers use it to
+        skip the masking entirely.
+        """
+        if self.version_map is None:
+            return {pid: None for pid, _ in items}
+        scored = [(pid, data) for pid, data in items if len(data) > 0]
+        out: dict[int, object] = {pid: None for pid, data in items if len(data) == 0}
+        if not scored:
+            return out
+        mask = self.version_map.live_mask(
+            np.concatenate([data.ids for _, data in scored]),
+            np.concatenate([data.versions for _, data in scored]),
+        )
+        if mask.all():
+            out.update({pid: None for pid, _ in scored})
+            return out
+        start = 0
+        for pid, data in scored:
+            part = mask[start : start + len(data)]
+            start += len(data)
+            out[pid] = None if part.all() else part
+        return out
+
+    def _search_quantized(
+        self, query: np.ndarray, k: int, nprobe: int, *, rerank_k: int
+    ) -> SearchResult:
+        """Compressed scan + exact rerank (docs/quantization.md).
+
+        ParallelGET touches only the code sections; the fused ADC kernel
+        scores every live candidate; the global best ``k * rerank_k``
+        rows are then reranked against exact vectors fetched with one
+        row-targeted read. With ``rerank_k`` large enough to cover every
+        live candidate the result is bit-identical to the exact path:
+        selected rows are re-sorted ascending (original posting order),
+        ``sq_l2_batch`` is per-row independent, postings assemble in
+        probe order, and the fresh tier — always scanned exactly —
+        appends last, so the final ``dedup_top_k`` sees the same
+        (ids, distances) stream.
+        """
+        quantizer = self.controller.codec.quantizer
+        fresh_ids = fresh_matrix = None
+        fresh_entries = 0
+        if self.fresh_tier is not None and len(self.fresh_tier) > 0:
+            fresh_ids, fresh_matrix = self.fresh_tier.live_snapshot()
+            fresh_entries = len(fresh_ids)
+        with self.profiler.section("navigate"):
+            centroid_hits = self.centroid_index.search(query, nprobe)
+        candidate_pids = self._prune(centroid_hits)
+        probe_pids, truncated = self._budget_prefix(
+            candidate_pids, fresh_entries, use_quant=True
+        )
+        code_map, io_latency = self.controller.parallel_get_codes(probe_pids)
+
+        # Stage 1: ADC scan over the live code rows of every probed posting
+        # with one fused kernel call across the whole candidate pool.
+        entries_scanned = 0
+        undersized: list[int] = []
+        pool: list[tuple[int, np.ndarray, np.ndarray, np.ndarray]] = []
+        with self.profiler.section("scan"):
+            masks = self._live_masks(
+                [(pid, code_map[pid]) for pid in probe_pids if pid in code_map]
+            )
+            for pid in probe_pids:
+                codes = code_map.get(pid)
+                if codes is None:
+                    continue  # deleted concurrently; its vectors live elsewhere
+                entries_scanned += len(codes)
+                mask = masks[pid]
+                if mask is None:
+                    live_rows = np.arange(len(codes), dtype=np.intp)
+                    live_ids, live_codes = codes.ids, codes.codes
+                else:
+                    live_rows = np.nonzero(mask)[0]
+                    live_ids, live_codes = codes.ids[mask], codes.codes[mask]
+                if self.min_posting_size and len(live_rows) < self.min_posting_size:
+                    undersized.append(pid)
+                if len(live_rows) == 0:
+                    continue
+                pool.append((pid, live_rows, live_ids, live_codes))
+            if pool:
+                with self.profiler.section("tables"):
+                    tables = quantizer.distance_tables(query.reshape(1, -1))
+                adc = adc_scan(tables, np.concatenate([p[3] for p in pool]))[0]
+            else:
+                adc = np.empty(0, dtype=np.float32)
+
+        # Stage 2: pick the global best k * rerank_k rows and fetch their
+        # exact vectors with one row-targeted submission. Closure
+        # assignment replicates boundary vectors into neighboring
+        # postings and replicas share one code, so rank only the first
+        # copy of each id — otherwise replicas crowd distinct candidates
+        # out of the rerank budget.
+        with self.profiler.section("topk"):
+            if len(adc):
+                ids_cat = np.concatenate([p[2] for p in pool])
+                _, first = np.unique(ids_cat, return_index=True)
+                selected = first[top_k_smallest(adc[first], k * rerank_k)]
+            else:
+                selected = np.empty(0, dtype=np.int64)
+        bounds = np.cumsum([0] + [len(p[1]) for p in pool])
+        requests: list[tuple[int, np.ndarray]] = []
+        chosen: list[tuple[int, np.ndarray]] = []  # (pool idx, local rows)
+        if len(selected):
+            owner = np.searchsorted(bounds, selected, side="right") - 1
+            for pi in np.unique(owner):
+                # Ascending row order == original posting order, which is
+                # what makes the rerank-everything case bit-identical.
+                local = np.sort(selected[owner == pi] - bounds[pi])
+                pid, live_rows, _, _ = pool[pi]
+                requests.append((pid, live_rows[local]))
+                chosen.append((int(pi), local))
+        fetched, rerank_io = self.controller.parallel_get_vector_rows(requests)
+        io_latency += rerank_io
+
+        all_ids: list[np.ndarray] = []
+        all_dists: list[np.ndarray] = []
+        reranked = 0
+        with self.profiler.section("rerank"):
+            for pi, local in chosen:
+                pid, _, live_ids, _ = pool[pi]
+                vectors = fetched.get(pid)
+                if vectors is None:
+                    continue  # vanished between the two reads
+                reranked += len(local)
+                all_ids.append(live_ids[local])
+                all_dists.append(sq_l2_batch(query, vectors))
+            if fresh_entries:
+                all_ids.append(fresh_ids)
+                all_dists.append(sq_l2_batch(query, fresh_matrix))
+                entries_scanned += fresh_entries
+
+        with self.profiler.section("topk"):
+            if all_ids:
+                ids = np.concatenate(all_ids)
+                dists = np.concatenate(all_dists)
+                top_ids, top_dists = dedup_top_k(ids, dists, k, max_dup=len(all_ids))
+            else:
+                top_ids = np.empty(0, dtype=np.int64)
+                top_dists = np.empty(0, dtype=np.float32)
+
+        disk_entries = entries_scanned - fresh_entries
+        cpu_latency = self.cpu_cost_per_query_us + self.cpu_cost_per_entry_us * (
+            fresh_entries + reranked
+        )
+        cpu_latency += self._scan_entry_cost(True) * disk_entries
+        latency = io_latency + cpu_latency
+        if truncated and self.latency_budget_us is not None:
+            latency = self.latency_budget_us
+        return SearchResult(
+            ids=top_ids,
+            distances=top_dists,
+            latency_us=latency,
+            postings_probed=len(probe_pids),
+            entries_scanned=entries_scanned,
+            io_latency_us=io_latency,
+            truncated=truncated,
+            undersized_postings=undersized,
+            fresh_entries_scanned=fresh_entries,
+            reranked_entries=reranked,
+        )
+
     def _live_views(self, postings: list[tuple[int, object]]) -> dict[int, object]:
         """Per-posting live views with ONE version-map round trip.
 
@@ -240,7 +474,13 @@ class SpannSearcher:
         return out
 
     def search_many(
-        self, queries, k: int, nprobe: int | None = None
+        self,
+        queries,
+        k: int,
+        nprobe: int | None = None,
+        *,
+        rerank_k: int | None = None,
+        quantized: bool | None = None,
     ) -> list[SearchResult]:
         """Batched search: one device submission serves many queries.
 
@@ -252,7 +492,8 @@ class SpannSearcher:
         The per-query latency budget is not applied in batch mode; query-
         aware pruning and undersized-posting (merge trigger) reporting
         match :meth:`search`, so batch workloads drive the same
-        maintenance signals as single-query ones.
+        maintenance signals as single-query ones. ``quantized`` and
+        ``rerank_k`` behave as in :meth:`search`.
         """
         if isinstance(queries, np.ndarray) and queries.ndim == 2:
             queries = as_matrix(queries, self.centroid_index.dim)
@@ -264,6 +505,11 @@ class SpannSearcher:
         if len(queries) == 0:
             return []
         nprobe = nprobe or self.default_nprobe
+        use_quant = self._resolve_quantized(quantized)
+        if use_quant:
+            return self._search_many_quantized(
+                queries, k, nprobe, rerank_k=rerank_k or self.rerank_k
+            )
         fresh_ids = fresh_rows = None
         fresh_entries = 0
         if self.fresh_tier is not None and len(self.fresh_tier) > 0:
@@ -363,6 +609,224 @@ class SpannSearcher:
                     io_latency_us=io_latency,
                     undersized_postings=undersized,
                     fresh_entries_scanned=fresh_entries,
+                )
+            )
+        return results
+
+    def _search_many_quantized(
+        self, queries: np.ndarray, k: int, nprobe: int, *, rerank_k: int
+    ) -> list[SearchResult]:
+        """Batched compressed scan + exact rerank.
+
+        Structure mirrors the exact :meth:`search_many`: one unioned
+        code-section ParallelGET, the scan grouped by posting (one fused
+        ADC call per posting over every query probing it, against tables
+        computed once per batch), then ONE row-targeted vector fetch
+        covering the union of every query's rerank survivors. Per query
+        the rerank columns are sliced from a shared per-posting
+        ``pairwise_sq_l2_exact`` — per-element identical to the
+        single-query ``sq_l2_batch`` — so rerank-everything stays
+        bit-identical to the exact batch path (and hence to ``search``).
+        """
+        quantizer = self.controller.codec.quantizer
+        fresh_ids = fresh_rows = None
+        fresh_entries = 0
+        if self.fresh_tier is not None and len(self.fresh_tier) > 0:
+            fresh_ids, fresh_matrix = self.fresh_tier.live_snapshot()
+            fresh_entries = len(fresh_ids)
+            if fresh_entries:
+                with self.profiler.section("scan"):
+                    fresh_rows = pairwise_sq_l2_exact(queries, fresh_matrix)
+        with self.profiler.section("navigate"):
+            nav = self.centroid_index.search_batch(queries, nprobe)
+        per_query_pids: list[list[int]] = []
+        union: dict[int, None] = {}
+        for hits in nav:
+            pids = self._prune(hits)
+            per_query_pids.append(pids)
+            for pid in pids:
+                union[pid] = None
+        code_map, io_latency = self.controller.parallel_get_codes(list(union))
+
+        queries_of: dict[int, list[int]] = {}
+        for qi, pids in enumerate(per_query_pids):
+            for pid in pids:
+                queries_of.setdefault(pid, []).append(qi)
+
+        # Stage 1: ADC-scan each posting's live codes against every query
+        # probing it. pid -> (entries on disk, live rows, live ids,
+        # {query: adc row}).
+        scanned: dict[int, tuple[int, np.ndarray, np.ndarray, dict | None]] = {}
+        with self.profiler.section("tables"):
+            tables = quantizer.distance_tables(queries)
+        with self.profiler.section("scan"):
+            masks = self._live_masks(
+                [(pid, code_map[pid]) for pid in queries_of if pid in code_map]
+            )
+            empty_rows = np.empty(0, dtype=np.intp)
+            empty_ids = np.empty(0, dtype=np.int64)
+            for pid, qidxs in queries_of.items():
+                codes = code_map.get(pid)
+                if codes is None:
+                    continue  # deleted concurrently; its vectors live elsewhere
+                mask = masks[pid]
+                if mask is None:
+                    live_rows = np.arange(len(codes), dtype=np.intp)
+                    live_ids, live_codes = codes.ids, codes.codes
+                else:
+                    live_rows = np.nonzero(mask)[0]
+                    live_ids, live_codes = codes.ids[mask], codes.codes[mask]
+                if len(live_rows) == 0:
+                    scanned[pid] = (len(codes), empty_rows, empty_ids, None)
+                    continue
+                adc = adc_scan(tables, live_codes, query_rows=qidxs)
+                scanned[pid] = (
+                    len(codes),
+                    live_rows,
+                    live_ids,
+                    {qi: adc[j] for j, qi in enumerate(qidxs)},
+                )
+
+        # Stage 2: per query, select the global best k * rerank_k ADC
+        # candidates; union each posting's selected rows across queries
+        # into ONE row-targeted vector fetch.
+        selections: list[list[tuple[int, np.ndarray]]] = []  # per query
+        rows_needed: dict[int, list[np.ndarray]] = {}
+        for qi, pids in enumerate(per_query_pids):
+            parts_pid: list[int] = []
+            parts_adc: list[np.ndarray] = []
+            parts_ids: list[np.ndarray] = []
+            for pid in pids:
+                info = scanned.get(pid)
+                if info is None or info[3] is None:
+                    continue
+                parts_pid.append(pid)
+                parts_adc.append(info[3][qi])
+                parts_ids.append(info[2])
+            picks: list[tuple[int, np.ndarray]] = []
+            if parts_adc:
+                adc_all = np.concatenate(parts_adc)
+                with self.profiler.section("topk"):
+                    # Rank only the first closure copy of each id, as in
+                    # the single-query path.
+                    _, first = np.unique(
+                        np.concatenate(parts_ids), return_index=True
+                    )
+                    selected = first[top_k_smallest(adc_all[first], k * rerank_k)]
+                if len(selected):
+                    bounds = np.cumsum([0] + [len(a) for a in parts_adc])
+                    owner = np.searchsorted(bounds, selected, side="right") - 1
+                    for pi in np.unique(owner):
+                        local = np.sort(selected[owner == pi] - bounds[pi])
+                        pid = parts_pid[pi]
+                        picks.append((pid, local))
+                        rows_needed.setdefault(pid, []).append(local)
+            selections.append(picks)
+
+        requests: list[tuple[int, np.ndarray]] = []
+        fetched_local: dict[int, np.ndarray] = {}  # pid -> union of local rows
+        for pid, locals_ in rows_needed.items():
+            union_local = np.unique(np.concatenate(locals_))
+            fetched_local[pid] = union_local
+            _, live_rows, _, _ = scanned[pid]
+            requests.append((pid, live_rows[union_local]))
+        fetched, rerank_io = self.controller.parallel_get_vector_rows(requests)
+        io_latency += rerank_io
+
+        # Stage 3: every (query, fetched row) rerank pair in ONE fused
+        # exact kernel — same diff-then-einsum ops as ``sq_l2_batch``, so
+        # per-pair distances stay bit-identical to the single-query path.
+        # Per-(query, posting) distance spans slice out of the flat result.
+        base_of: dict[int, int] = {}
+        offset = 0
+        for pid, union_local in fetched_local.items():
+            if fetched.get(pid) is None:
+                continue  # vanished between the two reads
+            base_of[pid] = offset
+            offset += len(union_local)
+        pair_q: list[np.ndarray] = []
+        pair_v: list[np.ndarray] = []
+        spans: list[dict[int, tuple[np.ndarray, int]]] = []  # per query
+        pos = 0
+        for qi, picks in enumerate(selections):
+            entry: dict[int, tuple[np.ndarray, int]] = {}
+            for pid, local in picks:
+                if pid not in base_of:
+                    continue
+                cols = np.searchsorted(fetched_local[pid], local)
+                pair_q.append(np.full(len(local), qi, dtype=np.intp))
+                pair_v.append(base_of[pid] + cols)
+                entry[pid] = (local, pos)
+                pos += len(local)
+            spans.append(entry)
+        with self.profiler.section("rerank"):
+            if pair_q:
+                v_cat = np.concatenate(
+                    [fetched[pid] for pid in base_of]
+                )
+                qp = np.concatenate(pair_q)
+                vp = np.concatenate(pair_v)
+                diff = v_cat[vp] - queries[qp]
+                pair_dists = np.einsum("ij,ij->i", diff, diff).astype(
+                    np.float32, copy=False
+                )
+            else:
+                pair_dists = np.empty(0, dtype=np.float32)
+
+        results: list[SearchResult] = []
+        for qi, pids in enumerate(per_query_pids):
+            all_ids: list[np.ndarray] = []
+            all_dists: list[np.ndarray] = []
+            entries = 0
+            reranked = 0
+            undersized: list[int] = []
+            picks = spans[qi]
+            for pid in pids:
+                info = scanned.get(pid)
+                if info is None:
+                    continue
+                n_disk, live_rows, live_ids, _ = info
+                entries += n_disk
+                if self.min_posting_size and len(live_rows) < self.min_posting_size:
+                    undersized.append(pid)
+                got = picks.get(pid)
+                if got is None:
+                    continue
+                local, start = got
+                all_ids.append(live_ids[local])
+                all_dists.append(pair_dists[start : start + len(local)])
+                reranked += len(local)
+            if fresh_entries:
+                all_ids.append(fresh_ids)
+                all_dists.append(fresh_rows[qi])
+                entries += fresh_entries
+            with self.profiler.section("topk"):
+                if all_ids:
+                    top_ids, top_dists = dedup_top_k(
+                        np.concatenate(all_ids),
+                        np.concatenate(all_dists),
+                        k,
+                        max_dup=len(all_ids),
+                    )
+                else:
+                    top_ids = np.empty(0, dtype=np.int64)
+                    top_dists = np.empty(0, dtype=np.float32)
+            disk_entries = entries - fresh_entries
+            cpu = self.cpu_cost_per_query_us + self.cpu_cost_per_entry_us * (
+                fresh_entries + reranked
+            )
+            cpu += self._scan_entry_cost(True) * disk_entries
+            results.append(
+                SearchResult(
+                    ids=top_ids,
+                    distances=top_dists,
+                    latency_us=io_latency + cpu,
+                    postings_probed=len(pids),
+                    entries_scanned=entries,
+                    io_latency_us=io_latency,
+                    undersized_postings=undersized,
+                    fresh_entries_scanned=fresh_entries,
+                    reranked_entries=reranked,
                 )
             )
         return results

@@ -17,8 +17,10 @@ import threading
 from collections import deque
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.metrics.profiling import NULL_PROFILER, Profiler
-from repro.storage.layout import PostingCodec, PostingData
+from repro.storage.layout import PostingCodec, PostingCodes, PostingData
 from repro.storage.ssd import SimulatedSSD
 from repro.util.errors import OutOfSpaceError, StalePostingError, StorageError
 
@@ -186,6 +188,8 @@ class BlockController:
         """
         if len(data) == 0:
             return 0.0
+        if getattr(self.codec, "sectioned", False):
+            return self._append_sectioned(posting_id, data)
         with self._lock:
             meta = self._mapping.get(posting_id)
             if meta is None:
@@ -217,6 +221,206 @@ class BlockController:
             )
             self._release(released)
             return latency
+
+    def _append_sectioned(self, posting_id: int, data: PostingData) -> float:
+        """APPEND under the two-section quantized layout.
+
+        Each section keeps the entries-never-span-a-block property, so the
+        append re-reads at most one partial tail block per section (one
+        batched submission), then writes the merged tails plus the new
+        full blocks. The mapping keeps the untouched full blocks of both
+        sections: ``[code keep, code new, vector keep, vector new]``.
+        """
+        codec = self.codec
+        with self._lock:
+            meta = self._mapping.get(posting_id)
+            if meta is None:
+                raise StalePostingError(f"posting {posting_id} does not exist")
+            old_n = meta.length
+            cb = codec.code_blocks_needed(old_n)
+            code_blocks, vec_blocks = meta.blocks[:cb], meta.blocks[cb:]
+
+            code_tail = codec.code_tail_fill(old_n)
+            vec_tail = codec.vector_tail_fill(old_n)
+            code_partial = 0 < code_tail < codec.code_entries_per_block
+            vec_partial = 0 < vec_tail < codec.vectors_per_block
+
+            read_blocks: list[int] = []
+            if code_partial:
+                read_blocks.append(code_blocks[-1])
+            if vec_partial:
+                read_blocks.append(vec_blocks[-1])
+            latency = 0.0
+            payloads: list[bytes] = []
+            if read_blocks:
+                with self.profiler.section("io"):
+                    payloads, lat = self.ssd.read_blocks(read_blocks)
+                latency += lat
+
+            new_codes = codec.codes_for(data)
+            cursor = 0
+            if code_partial:
+                tail = codec.decode_codes([payloads[cursor]], code_tail)
+                cursor += 1
+                merged_ids = np.concatenate([tail.ids, data.ids])
+                merged_versions = np.concatenate([tail.versions, data.versions])
+                merged_codes = np.concatenate([tail.codes, new_codes])
+                code_keep, code_released = code_blocks[:-1], [code_blocks[-1]]
+            else:
+                merged_ids, merged_versions = data.ids, data.versions
+                merged_codes = new_codes
+                code_keep, code_released = list(code_blocks), []
+            if vec_partial:
+                tail_vecs = codec.decode_vector_block(payloads[cursor], vec_tail)
+                merged_vecs = np.vstack([tail_vecs, data.vectors])
+                vec_keep, vec_released = vec_blocks[:-1], [vec_blocks[-1]]
+            else:
+                merged_vecs = data.vectors
+                vec_keep, vec_released = list(vec_blocks), []
+
+            code_payloads = codec.encode_codes_section(
+                merged_ids, merged_versions, merged_codes
+            )
+            vec_payloads = codec.encode_vectors_section(merged_vecs)
+            new_blocks = self._alloc(len(code_payloads) + len(vec_payloads))
+            code_new = new_blocks[: len(code_payloads)]
+            vec_new = new_blocks[len(code_payloads) :]
+            with self.profiler.section("io"):
+                latency += self.ssd.write_blocks(
+                    new_blocks, code_payloads + vec_payloads
+                )
+            self._mapping[posting_id] = _PostingMeta(
+                old_n + len(data), code_keep + code_new + vec_keep + vec_new
+            )
+            self._release(code_released + vec_released)
+            return latency
+
+    def parallel_get_codes(
+        self, posting_ids: list[int]
+    ) -> tuple[dict[int, PostingCodes], float]:
+        """Read only the code sections of many postings in one submission.
+
+        The compressed-scan read path: touches ``code_blocks_needed(n)``
+        blocks per posting instead of the full posting. Missing postings
+        are skipped, same as :meth:`parallel_get`. Requires a sectioned
+        codec.
+        """
+        codec = self.codec
+        if not getattr(codec, "sectioned", False):
+            raise StorageError("parallel_get_codes requires a sectioned codec")
+        with self._lock:
+            metas: list[tuple[int, _PostingMeta]] = []
+            all_blocks: list[int] = []
+            for pid in posting_ids:
+                meta = self._mapping.get(pid)
+                if meta is None:
+                    continue
+                metas.append((pid, meta))
+                all_blocks.extend(meta.blocks[: codec.code_blocks_needed(meta.length)])
+            with self.profiler.section("io"):
+                payloads, latency = self.ssd.read_blocks(all_blocks)
+            with self.profiler.section("decode"):
+                codes = codec.decode_codes_batch(
+                    payloads, [meta.length for _, meta in metas]
+                )
+                out = {pid: data for (pid, _), data in zip(metas, codes)}
+            return out, latency
+
+    def parallel_get_vector_rows(
+        self, requests: list[tuple[int, "np.ndarray"]]
+    ) -> tuple[dict[int, "np.ndarray"], float]:
+        """Read specific exact-vector rows of many postings (rerank path).
+
+        ``requests`` is ``[(posting_id, row_indices), ...]`` with row
+        indices into the on-disk posting (stale entries included, sorted
+        ascending). Only the vector-section blocks covering the requested
+        rows are read — one batched submission for the whole request set.
+        Returns ``{posting_id: (len(rows), dim) float32}``; missing
+        postings are skipped. Requires a sectioned codec.
+        """
+        codec = self.codec
+        if not getattr(codec, "sectioned", False):
+            raise StorageError(
+                "parallel_get_vector_rows requires a sectioned codec"
+            )
+        vpb = codec.vectors_per_block
+        with self._lock:
+            plan: list[tuple[int, np.ndarray, int, np.ndarray]] = []
+            all_blocks: list[int] = []
+            for pid, rows in requests:
+                meta = self._mapping.get(pid)
+                if meta is None:
+                    continue
+                rows = np.asarray(rows, dtype=np.intp)
+                if len(rows) == 0:
+                    continue
+                if rows[-1] >= meta.length:
+                    raise StorageError(
+                        f"row {int(rows[-1])} out of range for posting {pid} "
+                        f"of length {meta.length}"
+                    )
+                cb = codec.code_blocks_needed(meta.length)
+                vec_blocks = meta.blocks[cb:]
+                need = np.unique(rows // vpb)
+                all_blocks.extend(vec_blocks[int(b)] for b in need)
+                plan.append((pid, rows, meta.length, need))
+            with self.profiler.section("io"):
+                payloads, latency = self.ssd.read_blocks(all_blocks)
+            with self.profiler.section("decode"):
+                out: dict[int, np.ndarray] = {}
+                if plan and all(
+                    len(p) == codec.block_size for p in payloads
+                ):
+                    # Arena decode: view every fetched block as float32
+                    # rows at once, then ONE fancy gather pulls all
+                    # requested rows across every posting. Bytes are
+                    # identical to the per-block path, so values are too.
+                    vbytes = vpb * codec.dim * 4
+                    raw = np.frombuffer(
+                        b"".join(payloads), dtype=np.uint8
+                    ).reshape(len(payloads), codec.block_size)
+                    arena = (
+                        np.ascontiguousarray(raw[:, :vbytes])
+                        .view("<f4")
+                        .reshape(len(payloads), vpb, codec.dim)
+                    )
+                    aj_parts: list[np.ndarray] = []
+                    loc_parts: list[np.ndarray] = []
+                    cursor = 0
+                    for pid, rows, length, need in plan:
+                        block_of = rows // vpb
+                        aj_parts.append(
+                            cursor + np.searchsorted(need, block_of)
+                        )
+                        loc_parts.append(rows - block_of * vpb)
+                        cursor += len(need)
+                    rows_all = arena[
+                        np.concatenate(aj_parts), np.concatenate(loc_parts)
+                    ]
+                    pos = 0
+                    for pid, rows, length, need in plan:
+                        out[pid] = rows_all[pos : pos + len(rows)]
+                        pos += len(rows)
+                    return out, latency
+                cursor = 0
+                for pid, rows, length, need in plan:
+                    gathered = np.empty((len(rows), codec.dim), dtype=np.float32)
+                    last_block = codec.vector_blocks_needed(length) - 1
+                    block_of = rows // vpb
+                    for b in need:
+                        count = (
+                            codec.vector_tail_fill(length)
+                            if int(b) == last_block
+                            else vpb
+                        )
+                        block_vecs = codec.decode_vector_block(
+                            payloads[cursor], count
+                        )
+                        cursor += 1
+                        in_block = block_of == b
+                        gathered[in_block] = block_vecs[rows[in_block] - b * vpb]
+                    out[pid] = gathered
+            return out, latency
 
     def delete(self, posting_id: int) -> None:
         """Remove a posting and release its blocks."""

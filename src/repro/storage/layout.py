@@ -4,6 +4,18 @@ A posting is a list of ``<vector id, version number, raw vector>`` tuples
 packed into fixed-size SSD blocks. Entries never span a block boundary so
 APPEND can rewrite only the tail block, which is the property the paper's
 append-optimized layout depends on.
+
+Two codecs share this contract:
+
+* :class:`PostingCodec` (layout v1) — the classic exact layout, one
+  ``<id, version, vector>`` record per entry.
+* :class:`QuantizedPostingCodec` (layout v2, ``sectioned = True``) — a
+  two-section layout for compressed scans (docs/quantization.md): a
+  *code section* of ``<id, version, quantized code>`` records followed by
+  a *vector section* of raw float32 rows. Scans read only the code-block
+  prefix; the rerank step reads just the vector blocks covering the
+  surviving rows. Both sections keep the never-span-a-block property, so
+  APPEND still rewrites at most one partial tail block per section.
 """
 
 from __future__ import annotations
@@ -20,17 +32,22 @@ class PostingData:
     """Decoded in-memory view of one posting.
 
     ``ids`` are int64 vector ids, ``versions`` the uint8 version bytes
-    captured at append time, ``vectors`` the raw float32 rows. The three
-    arrays always share the same length.
+    captured at append time, ``vectors`` the raw float32 rows. ``codes``
+    is the optional uint8 quantized-code matrix carried by the sectioned
+    layout (None under the exact v1 codec). All present columns share the
+    same length.
     """
 
     ids: np.ndarray
     versions: np.ndarray
     vectors: np.ndarray
+    codes: np.ndarray | None = None
 
     def __post_init__(self) -> None:
         if not (len(self.ids) == len(self.versions) == len(self.vectors)):
             raise ValueError("PostingData arrays must have equal length")
+        if self.codes is not None and len(self.codes) != len(self.ids):
+            raise ValueError("PostingData codes must match the other columns")
 
     def __len__(self) -> int:
         return len(self.ids)
@@ -44,14 +61,19 @@ class PostingData:
         )
 
     @classmethod
-    def from_rows(cls, ids, versions, vectors) -> "PostingData":
+    def from_rows(cls, ids, versions, vectors, codes=None) -> "PostingData":
         vectors = np.ascontiguousarray(vectors, dtype=np.float32)
         if vectors.ndim == 1:
             vectors = vectors.reshape(1, -1)
+        if codes is not None:
+            codes = np.asarray(codes, dtype=np.uint8)
+            if codes.ndim == 1:
+                codes = codes.reshape(1, -1)
         return cls(
             ids=np.asarray(ids, dtype=np.int64).reshape(-1),
             versions=np.asarray(versions, dtype=np.uint8).reshape(-1),
             vectors=vectors,
+            codes=codes,
         )
 
     def owns_memory(self) -> bool:
@@ -60,6 +82,7 @@ class PostingData:
             self.ids.base is None
             and self.versions.base is None
             and self.vectors.base is None
+            and (self.codes is None or self.codes.base is None)
         )
 
     def owned(self) -> "PostingData":
@@ -77,19 +100,57 @@ class PostingData:
             ids=self.ids.copy(),
             versions=self.versions.copy(),
             vectors=self.vectors.copy(),
+            codes=None if self.codes is None else self.codes.copy(),
         )
 
     def select(self, mask: np.ndarray) -> "PostingData":
         """New PostingData containing only rows where ``mask`` is True."""
         return PostingData(
-            ids=self.ids[mask], versions=self.versions[mask], vectors=self.vectors[mask]
+            ids=self.ids[mask],
+            versions=self.versions[mask],
+            vectors=self.vectors[mask],
+            codes=None if self.codes is None else self.codes[mask],
         )
 
     def concat(self, other: "PostingData") -> "PostingData":
+        # The code column survives only when both sides carry it; the
+        # quantized codec re-encodes a missing column deterministically at
+        # encode time, so dropping it here never loses information.
+        if self.codes is not None and other.codes is not None:
+            codes = np.concatenate([self.codes, other.codes])
+        else:
+            codes = None
         return PostingData(
             ids=np.concatenate([self.ids, other.ids]),
             versions=np.concatenate([self.versions, other.versions]),
             vectors=np.vstack([self.vectors, other.vectors]),
+            codes=codes,
+        )
+
+
+@dataclass
+class PostingCodes:
+    """Code-section view of one posting: ids, versions, quantized codes.
+
+    What a compressed scan works with — no raw vectors attached. Shares
+    the column discipline of :class:`PostingData` so version-map helpers
+    (``live_view`` / ``live_mask``) work on either.
+    """
+
+    ids: np.ndarray
+    versions: np.ndarray
+    codes: np.ndarray
+
+    def __post_init__(self) -> None:
+        if not (len(self.ids) == len(self.versions) == len(self.codes)):
+            raise ValueError("PostingCodes arrays must have equal length")
+
+    def __len__(self) -> int:
+        return len(self.ids)
+
+    def select(self, mask: np.ndarray) -> "PostingCodes":
+        return PostingCodes(
+            ids=self.ids[mask], versions=self.versions[mask], codes=self.codes[mask]
         )
 
 
@@ -124,6 +185,10 @@ class PostingCodec:
         if num_entries <= 0:
             return 0
         return -(-num_entries // self.entries_per_block)
+
+    def scan_blocks_needed(self, num_entries: int) -> int:
+        """Blocks a scan must read. The exact layout scans everything."""
+        return self.blocks_needed(num_entries)
 
     def encode(self, data: PostingData) -> list[bytes]:
         """Encode a posting into a list of block payloads."""
@@ -241,3 +306,284 @@ class PostingCodec:
             return 0
         rem = num_entries % self.entries_per_block
         return rem if rem != 0 else self.entries_per_block
+
+
+class QuantizedPostingCodec:
+    """Two-section posting layout (v2): code blocks, then vector blocks.
+
+    Section 1 packs ``<id, version, code>`` records (``code_bytes`` uint8
+    per entry); section 2 packs the raw float32 rows, several per block.
+    Each section starts on a block boundary and entries never span a
+    block, so:
+
+    * a compressed scan reads only ``code_blocks_needed(n)`` blocks —
+      the IO win over the exact layout grows with ``dim / code_bytes``;
+    * the rerank step reads just the vector blocks covering surviving
+      rows (``row // vectors_per_block``);
+    * APPEND rewrites at most one partial tail block *per section*.
+
+    The codec owns the fitted quantizer: ``encode`` computes the code
+    column itself whenever ``data.codes`` is None. Encoding is a pure
+    function of the fitted state, so every rewrite path (split, merge,
+    reassign, flush, GC) stays code/vector coherent without knowing the
+    layout exists — the invariant auditor checks exactly that.
+    """
+
+    ID_BYTES = 8
+    VERSION_BYTES = 1
+    sectioned = True
+
+    def __init__(self, dim: int, block_size: int, quantizer) -> None:
+        if dim <= 0:
+            raise ValueError("dim must be positive")
+        if quantizer.dim != dim:
+            raise StorageError(
+                f"quantizer dim {quantizer.dim} does not match codec dim {dim}"
+            )
+        self.dim = dim
+        self.block_size = block_size
+        self.quantizer = quantizer
+        self.code_bytes = int(quantizer.code_bytes)
+        self.code_entry_size = self.ID_BYTES + self.VERSION_BYTES + self.code_bytes
+        self.code_entries_per_block = block_size // self.code_entry_size
+        self.vector_entry_size = 4 * dim
+        self.vectors_per_block = block_size // self.vector_entry_size
+        if self.code_entries_per_block < 1 or self.vectors_per_block < 1:
+            raise StorageError(
+                f"block size {block_size} cannot hold one entry of the "
+                f"sectioned layout (dim={dim}, code_bytes={self.code_bytes})"
+            )
+        self._code_dtype = np.dtype(
+            [("id", "<i8"), ("version", "u1"), ("code", "u1", (self.code_bytes,))]
+        )
+
+    # ------------------------------------------------------------------
+    # geometry
+    # ------------------------------------------------------------------
+    def code_blocks_needed(self, num_entries: int) -> int:
+        if num_entries <= 0:
+            return 0
+        return -(-num_entries // self.code_entries_per_block)
+
+    def vector_blocks_needed(self, num_entries: int) -> int:
+        if num_entries <= 0:
+            return 0
+        return -(-num_entries // self.vectors_per_block)
+
+    def blocks_needed(self, num_entries: int) -> int:
+        """Total blocks for a posting: code section + vector section."""
+        return self.code_blocks_needed(num_entries) + self.vector_blocks_needed(
+            num_entries
+        )
+
+    def scan_blocks_needed(self, num_entries: int) -> int:
+        """A compressed scan touches only the code-block prefix."""
+        return self.code_blocks_needed(num_entries)
+
+    def code_tail_fill(self, num_entries: int) -> int:
+        if num_entries == 0:
+            return 0
+        rem = num_entries % self.code_entries_per_block
+        return rem if rem != 0 else self.code_entries_per_block
+
+    def vector_tail_fill(self, num_entries: int) -> int:
+        if num_entries == 0:
+            return 0
+        rem = num_entries % self.vectors_per_block
+        return rem if rem != 0 else self.vectors_per_block
+
+    # ------------------------------------------------------------------
+    # encode
+    # ------------------------------------------------------------------
+    def codes_for(self, data: PostingData) -> np.ndarray:
+        """The posting's code column, computing it if absent."""
+        if data.codes is not None:
+            codes = np.asarray(data.codes, dtype=np.uint8)
+        else:
+            codes = self.quantizer.encode(data.vectors)
+        if codes.shape != (len(data), self.code_bytes):
+            raise StorageError(
+                f"code column shape {codes.shape} != "
+                f"({len(data)}, {self.code_bytes})"
+            )
+        return codes
+
+    def encode_codes_section(
+        self, ids: np.ndarray, versions: np.ndarray, codes: np.ndarray
+    ) -> list[bytes]:
+        """Pack code records into block payloads (section starts a block)."""
+        n = len(ids)
+        if n == 0:
+            return []
+        packed = np.zeros(n, dtype=self._code_dtype)
+        packed["id"] = ids
+        packed["version"] = versions
+        packed["code"] = codes
+        raw = packed.tobytes()
+        cpb = self.code_entries_per_block
+        esz = self.code_entry_size
+        return [
+            raw[start * esz : min(start + cpb, n) * esz]
+            for start in range(0, n, cpb)
+        ]
+
+    def encode_vectors_section(self, vectors: np.ndarray) -> list[bytes]:
+        """Pack raw float32 rows into block payloads."""
+        n = len(vectors)
+        if n == 0:
+            return []
+        raw = np.ascontiguousarray(vectors, dtype=np.float32).tobytes()
+        vpb = self.vectors_per_block
+        esz = self.vector_entry_size
+        return [
+            raw[start * esz : min(start + vpb, n) * esz]
+            for start in range(0, n, vpb)
+        ]
+
+    def encode(self, data: PostingData) -> list[bytes]:
+        """Encode a posting: code-section payloads, then vector payloads."""
+        if len(data) == 0:
+            return []
+        codes = self.codes_for(data)
+        return self.encode_codes_section(
+            data.ids, data.versions, codes
+        ) + self.encode_vectors_section(data.vectors)
+
+    # ------------------------------------------------------------------
+    # decode
+    # ------------------------------------------------------------------
+    def _decode_code_payloads(
+        self, payloads: list[bytes], num_entries: int
+    ) -> np.ndarray:
+        cpb = self.code_entries_per_block
+        views: list[np.ndarray] = []
+        remaining = num_entries
+        for payload in payloads:
+            take = min(remaining, cpb)
+            views.append(np.frombuffer(payload, dtype=self._code_dtype, count=take))
+            remaining -= take
+            if remaining == 0:
+                break
+        return views[0] if len(views) == 1 else np.concatenate(views)
+
+    def decode_codes(self, payloads: list[bytes], num_entries: int) -> PostingCodes:
+        """Decode code-section payloads into a :class:`PostingCodes`."""
+        if num_entries == 0:
+            return PostingCodes(
+                ids=np.empty(0, dtype=np.int64),
+                versions=np.empty(0, dtype=np.uint8),
+                codes=np.empty((0, self.code_bytes), dtype=np.uint8),
+            )
+        expected = self.code_blocks_needed(num_entries)
+        if len(payloads) < expected:
+            raise StorageError(
+                f"need {expected} code blocks for {num_entries} entries, "
+                f"got {len(payloads)}"
+            )
+        packed = self._decode_code_payloads(payloads[:expected], num_entries)
+        return PostingCodes(
+            ids=packed["id"].copy(),
+            versions=packed["version"].copy(),
+            codes=packed["code"].copy().reshape(num_entries, self.code_bytes),
+        )
+
+    def decode_codes_batch(
+        self, payloads: list[bytes], num_entries_list: list[int]
+    ) -> list[PostingCodes]:
+        """Arena decode of many code sections from one flat block list.
+
+        Mirrors :meth:`PostingCodec.decode_batch`: when every payload is a
+        full device block, one join + one structured view + three column
+        copies decode the whole batch, and each posting is a contiguous
+        slice of the arena columns.
+        """
+        cpb = self.code_entries_per_block
+        if any(len(p) != self.block_size for p in payloads):
+            out: list[PostingCodes] = []
+            cursor = 0
+            for n in num_entries_list:
+                nblocks = self.code_blocks_needed(n)
+                out.append(self.decode_codes(payloads[cursor : cursor + nblocks], n))
+                cursor += nblocks
+            return out
+
+        nblocks = len(payloads)
+        esz = self.code_entry_size
+        if nblocks == 0 and any(num_entries_list):
+            raise StorageError("decode_codes_batch got entries but no payloads")
+        if nblocks:
+            raw = np.frombuffer(b"".join(payloads), dtype=np.uint8)
+            region = raw.reshape(nblocks, self.block_size)[:, : cpb * esz]
+            packed = np.ascontiguousarray(region).reshape(-1, esz)
+            packed = packed.view(self._code_dtype).reshape(-1)
+            ids_all = np.ascontiguousarray(packed["id"])
+            versions_all = np.ascontiguousarray(packed["version"])
+            codes_all = np.ascontiguousarray(packed["code"])
+        out = []
+        cursor = 0
+        for n in num_entries_list:
+            if n == 0:
+                out.append(self.decode_codes([], 0))
+                continue
+            start = cursor * cpb
+            out.append(
+                PostingCodes(
+                    ids=ids_all[start : start + n],
+                    versions=versions_all[start : start + n],
+                    codes=codes_all[start : start + n],
+                )
+            )
+            cursor += self.code_blocks_needed(n)
+        return out
+
+    def decode_vector_block(self, payload: bytes, count: int) -> np.ndarray:
+        """Decode one vector-section block into ``(count, dim)`` float32."""
+        return np.frombuffer(
+            payload, dtype="<f4", count=count * self.dim
+        ).reshape(count, self.dim)
+
+    def _decode_vector_payloads(
+        self, payloads: list[bytes], num_entries: int
+    ) -> np.ndarray:
+        vpb = self.vectors_per_block
+        views: list[np.ndarray] = []
+        remaining = num_entries
+        for payload in payloads:
+            take = min(remaining, vpb)
+            views.append(self.decode_vector_block(payload, take))
+            remaining -= take
+            if remaining == 0:
+                break
+        return views[0] if len(views) == 1 else np.vstack(views)
+
+    def decode(self, payloads: list[bytes], num_entries: int) -> PostingData:
+        """Decode full-posting payloads (both sections) into PostingData."""
+        if num_entries == 0:
+            return PostingData.empty(self.dim)
+        cb = self.code_blocks_needed(num_entries)
+        vb = self.vector_blocks_needed(num_entries)
+        if len(payloads) < cb + vb:
+            raise StorageError(
+                f"need {cb + vb} blocks for {num_entries} entries, "
+                f"got {len(payloads)}"
+            )
+        codes = self.decode_codes(payloads[:cb], num_entries)
+        vectors = self._decode_vector_payloads(payloads[cb : cb + vb], num_entries)
+        return PostingData(
+            ids=codes.ids,
+            versions=codes.versions,
+            vectors=vectors.copy(),
+            codes=codes.codes,
+        )
+
+    def decode_batch(
+        self, payloads: list[bytes], num_entries_list: list[int]
+    ) -> list[PostingData]:
+        """Decode many full postings from one flat block list."""
+        out: list[PostingData] = []
+        cursor = 0
+        for n in num_entries_list:
+            nblocks = self.blocks_needed(n)
+            out.append(self.decode(payloads[cursor : cursor + nblocks], n))
+            cursor += nblocks
+        return out

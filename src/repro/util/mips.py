@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.api import QueryRequest, SearchResponse, warn_legacy_query
 from repro.util.distance import as_matrix, as_vector
 
 
@@ -109,13 +110,45 @@ class MipsSPFreshIndex:
     def delete(self, vector_id: int) -> float:
         return self._index.delete(vector_id)
 
-    def search(self, query: np.ndarray, k: int, nprobe: int | None = None):
-        """Top-k by inner product; scores returned in ``distances``."""
-        result = self._index.search(self.transform.transform_query(query), k, nprobe)
-        result.distances = self.transform.inner_products_from_sq_l2(
-            query, result.distances
-        ).astype(np.float32)
-        return result
+    def query(self, request: QueryRequest) -> SearchResponse:
+        """Top-k by inner product; scores returned in ``distances``.
+
+        Each query vector is augmented before hitting the inner L2 index
+        and each result's squared distances are mapped back to exact
+        inner products in place (``SearchResult`` is mutable even though
+        the response wrapper is frozen).
+        """
+        if not isinstance(request, QueryRequest):
+            raise TypeError(
+                f"query() wants a repro.api.QueryRequest, got "
+                f"{type(request).__name__}"
+            )
+        raw = as_matrix(request.vectors, self.transform.dim)
+        augmented = np.vstack(
+            [self.transform.transform_query(q) for q in raw]
+        )
+        response = self._index.query(request.with_vectors(augmented))
+        for query, result in zip(raw, response.results):
+            result.distances = self.transform.inner_products_from_sq_l2(
+                query, result.distances
+            ).astype(np.float32)
+        return SearchResponse(results=response.results, request=request)
+
+    def search(self, query, k: int | None = None, nprobe: int | None = None):
+        """Search facade; positional form deprecated (see docs/api.md)."""
+        if isinstance(query, QueryRequest):
+            if k is not None or nprobe is not None:
+                raise TypeError(
+                    "pass k/nprobe inside the QueryRequest, not alongside it"
+                )
+            return self.query(query)
+        warn_legacy_query("MipsSPFreshIndex.search")
+        if k is None:
+            raise TypeError("search(vector, k) requires k")
+        request = QueryRequest.single(
+            as_vector(query, self.transform.dim), k=k, nprobe=nprobe
+        )
+        return self.query(request).result
 
     def drain(self) -> int:
         return self._index.drain()

@@ -1,0 +1,114 @@
+"""Tests for the typed query surface (repro.api)."""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.api import QueryRequest, SearchResponse, warn_legacy_query
+
+
+class TestQueryRequest:
+    def test_single_vector_normalized_to_row(self):
+        req = QueryRequest(vectors=np.zeros(8))
+        assert req.vectors.shape == (1, 8)
+        assert req.vectors.dtype == np.float32
+        assert req.is_single
+
+    def test_batch_stays_batch(self):
+        req = QueryRequest(vectors=np.zeros((5, 8)))
+        assert req.vectors.shape == (5, 8)
+        assert not req.is_single
+
+    def test_rejects_empty_and_3d(self):
+        with pytest.raises(ValueError):
+            QueryRequest(vectors=np.zeros((0, 8)))
+        with pytest.raises(ValueError):
+            QueryRequest(vectors=np.zeros((2, 3, 4)))
+
+    def test_knob_validation(self):
+        with pytest.raises(ValueError):
+            QueryRequest(vectors=np.zeros(4), k=0)
+        with pytest.raises(ValueError):
+            QueryRequest(vectors=np.zeros(4), nprobe=0)
+        with pytest.raises(ValueError):
+            QueryRequest(vectors=np.zeros(4), rerank_k=0)
+
+    def test_single_constructor_rejects_matrix(self):
+        with pytest.raises(ValueError):
+            QueryRequest.single(np.zeros((2, 4)))
+
+    def test_single_passes_knobs(self):
+        req = QueryRequest.single(np.zeros(4), k=3, nprobe=2, rerank_k=5)
+        assert (req.k, req.nprobe, req.rerank_k) == (3, 2, 5)
+
+    def test_with_vectors_keeps_knobs(self):
+        req = QueryRequest(vectors=np.zeros((4, 8)), k=7, nprobe=3, tenant=2)
+        sliced = req.with_vectors(req.vectors[:2])
+        assert sliced.vectors.shape == (2, 8)
+        assert (sliced.k, sliced.nprobe, sliced.tenant) == (7, 3, 2)
+
+    def test_frozen(self):
+        req = QueryRequest(vectors=np.zeros(4))
+        with pytest.raises(AttributeError):
+            req.k = 5
+
+
+class _FakeResult:
+    def __init__(self, ids):
+        self.ids = np.asarray(ids)
+        self.distances = np.zeros(len(ids), dtype=np.float32)
+        self.latency_us = 1.0
+
+
+class TestSearchResponse:
+    def test_sequence_protocol(self):
+        resp = SearchResponse(results=[_FakeResult([1]), _FakeResult([2])])
+        assert len(resp) == 2
+        assert [r.ids[0] for r in resp] == [1, 2]
+        assert resp[1].ids[0] == 2
+
+    def test_single_accessors(self):
+        resp = SearchResponse(results=[_FakeResult([4, 5])])
+        assert list(resp.ids) == [4, 5]
+        assert resp.latency_us == 1.0
+
+    def test_single_accessors_raise_on_batch(self):
+        resp = SearchResponse(results=[_FakeResult([1]), _FakeResult([2])])
+        with pytest.raises(ValueError):
+            _ = resp.ids
+        with pytest.raises(ValueError):
+            _ = resp.result
+
+
+class TestLegacyWarning:
+    def test_external_caller_gets_deprecation_warning(self):
+        def external_facade():
+            warn_legacy_query("Thing.search")
+
+        with pytest.warns(DeprecationWarning, match="Thing.search"):
+            external_facade()
+
+    def test_internal_caller_raises(self, built_index, vectors):
+        # Simulate a legacy positional call whose caller frame lives
+        # inside repro.*: the deprecated surface is a hard error for
+        # first-party code.
+        namespace = {"__name__": "repro.fake_module", "index": built_index}
+        exec(
+            "def internal_call(vector):\n"
+            "    return index.search(vector, 3, nprobe=2)\n",
+            namespace,
+        )
+        with pytest.raises(TypeError, match="QueryRequest"):
+            namespace["internal_call"](vectors[0])
+
+    def test_index_legacy_search_warns(self, built_index, vectors):
+        with pytest.warns(DeprecationWarning):
+            result = built_index.search(vectors[0], 3, nprobe=2)
+        assert len(result.ids) <= 3
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            resp = built_index.query(
+                QueryRequest.single(vectors[0], k=3, nprobe=2)
+            )
+        assert np.array_equal(resp.ids, result.ids)
