@@ -72,13 +72,19 @@ class QueryRequest:
     def __post_init__(self) -> None:
         vectors = np.asarray(self.vectors, dtype=np.float32)
         if vectors.ndim == 1:
+            if len(vectors) == 0:
+                raise ValueError(
+                    "a 1-D QueryRequest vector cannot be empty; pass a "
+                    "(0, dim) matrix for an explicitly empty batch"
+                )
             vectors = vectors.reshape(1, -1)
         if vectors.ndim != 2:
             raise ValueError(
                 f"vectors must be 1-D or 2-D, got shape {vectors.shape}"
             )
-        if len(vectors) == 0:
-            raise ValueError("a QueryRequest needs at least one query vector")
+        # An explicitly 2-D empty batch is well-defined: every facade's
+        # query() answers it with an empty SearchResponse (no shards or
+        # postings probed). Only the single-vector form must be non-empty.
         object.__setattr__(self, "vectors", vectors)
         if self.k < 1:
             raise ValueError(f"k must be at least 1, got {self.k}")

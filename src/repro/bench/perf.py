@@ -863,6 +863,225 @@ def scenario_quantized(scale: PerfScale, seed: int) -> ScenarioResult:
     )
 
 
+def scenario_cluster(scale: PerfScale, seed: int) -> ScenarioResult:
+    """Centroid-routed cluster vs broadcast: routing accuracy, splits, procs.
+
+    Builds a :class:`~repro.distributed.ClusterSPFresh` (replication
+    factor 2) over the clustered base set and measures the three claims
+    the cluster model makes (docs/distributed.md):
+
+    * **routing preserves accuracy** — the routed path probes only
+      ``cluster_nprobe`` of the shards per query; its recall against
+      brute force must stay within 0.95x of the broadcast oracle's
+      (``routing_recall_ratio`` gates >= 0.95 in CI) while
+      ``shards_probed_fraction`` stays < 1.0. Simulated latency is
+      max-of-probed-shards + route + merge cost, so routing also shows up
+      as a gated ``routed_latency_speedup`` over broadcast;
+    * **growth preserves conservation** — a seeded hot-region insert
+      storm pushes one shard over ``cluster_split_threshold``;
+      ``maybe_split()`` carves its centroid group and migrates the
+      rerouted vectors, and ``check_cluster_invariants`` audits the
+      cross-shard conservation story (``conservation_violations`` gates
+      at 0). A post-split routed-vs-broadcast sweep
+      (``post_split_recall_ratio``) shows routing survives the topology
+      change;
+    * **process fan-out is bit-exact** — the same per-shard sub-batches
+      run through a forked :class:`~repro.distributed.ProcessShardPool`
+      (workers inherit the build-state shards, so no pickling and no
+      divergence) and must merge to the routed path's exact ids and
+      distances (``process_parity_mismatches`` gates at 0). The pool is
+      forked *before* the parent's sweeps because ``query()`` has
+      maintenance side effects. Wall-clock ``process_wall_speedup`` over
+      the serial sweep is informational (two-clock model); on platforms
+      without ``fork`` the process metrics report 0 mismatches and 0
+      wall time.
+    """
+    from repro.core.invariants import check_cluster_invariants
+    from repro.distributed import ClusterSPFresh, ProcessShardPool, fork_available
+
+    dataset = make_sift_like(scale.base_vectors, 0, dim=scale.dim, seed=seed)
+    split_threshold = int(
+        (scale.base_vectors / scale.cluster_shards + scale.cluster_updates)
+        * 0.75
+    )
+    config = _base_config(
+        scale,
+        seed,
+        cluster_nprobe=scale.cluster_nprobe,
+        cluster_replication_factor=2,
+        cluster_split_threshold=split_threshold,
+    )
+    cluster = ClusterSPFresh.build(
+        dataset.base, num_shards=scale.cluster_shards, config=config
+    )
+    queries = _queries(dataset, scale, seed)
+    truth = exact_knn(
+        dataset.base, np.arange(scale.base_vectors), queries, scale.k
+    )
+    request = QueryRequest(vectors=queries, k=scale.k, nprobe=scale.nprobe)
+
+    # Fork the worker pool from pristine build state, before any parent
+    # sweep can schedule maintenance in the parent's copies.
+    pool = (
+        ProcessShardPool([g.replicas[0] for g in cluster.groups])
+        if fork_available()
+        else None
+    )
+
+    # Serial routed sweep (also the simulated-metric source). A second
+    # timed pass smooths first-touch noise; wall clock is informational,
+    # so the extra pass's maintenance side effects are harmless.
+    wall_start = time.perf_counter()
+    routed = cluster.query(request)
+    serial_wall = time.perf_counter() - wall_start
+    routed_lat = [r.latency_us for r in routed]
+    probed_fraction = cluster.shards_probed_fraction()
+    wall_start = time.perf_counter()
+    cluster.query(request)
+    serial_wall = min(serial_wall, time.perf_counter() - wall_start)
+
+    # Process-pool sweep over the identical per-shard sub-batches, merged
+    # with the same dedup; parity against the routed response gates at 0.
+    from repro.spann.postings import dedup_top_k
+
+    plan = cluster.placement.shards_for_queries(
+        queries, config.cluster.nprobe
+    )
+    shard_rows: dict[int, list[int]] = {}
+    for qi, shards in enumerate(plan):
+        for sid in shards:
+            shard_rows.setdefault(int(sid), []).append(qi)
+    process_mismatches = 0
+    process_wall = 0.0
+    if pool is not None:
+        jobs = {
+            sid: (queries[rows], scale.k, scale.nprobe)
+            for sid, rows in shard_rows.items()
+        }
+        positions = {
+            sid: {qi: pos for pos, qi in enumerate(rows)}
+            for sid, rows in shard_rows.items()
+        }
+        wall_start = time.perf_counter()
+        pooled = pool.query_shards(jobs)
+        process_wall = time.perf_counter() - wall_start
+        for qi, shards in enumerate(plan):
+            parts = [pooled[int(s)][positions[int(s)][qi]] for s in shards]
+            ids, dists = dedup_top_k(
+                np.concatenate([p[0] for p in parts]),
+                np.concatenate([p[1] for p in parts]),
+                scale.k,
+            )
+            if not (
+                np.array_equal(ids, routed[qi].ids)
+                and np.array_equal(dists, routed[qi].distances)
+            ):
+                process_mismatches += 1
+        # Warm second pass: the first fork pays copy-on-write page faults
+        # for every posting the workers touch; steady state is what the
+        # serial-vs-process comparison should show. (On a single-core
+        # machine the speedup still sits near 1/fan-out — workers can
+        # only interleave; the metric is informational either way.)
+        wall_start = time.perf_counter()
+        pool.query_shards(jobs)
+        process_wall = min(process_wall, time.perf_counter() - wall_start)
+        pool.close()
+
+    # Broadcast oracle: every shard answers every query.
+    broadcast = cluster.query(request, broadcast=True)
+    broadcast_lat = [r.latency_us for r in broadcast]
+    routed_recall = recall_at_k([r.ids for r in routed], truth, scale.k)
+    broadcast_recall = recall_at_k(
+        [r.ids for r in broadcast], truth, scale.k
+    )
+
+    # Hot-region growth: concentrated inserts push one shard past the
+    # split threshold; the split migrates and the auditor must find the
+    # cross-shard books balanced.
+    rng = np.random.default_rng(seed + 8)
+    hot_center = dataset.cluster_centers[0]
+    storm = (
+        hot_center + rng.normal(scale=0.2, size=(scale.cluster_updates, scale.dim))
+    ).astype(np.float32)
+    for i in range(scale.cluster_updates):
+        cluster.insert(6_000_000 + i, storm[i])
+    shards_before = cluster.num_shards
+    splits = cluster.maybe_split()
+    cluster.drain()
+    audit = check_cluster_invariants(cluster)
+
+    all_vectors = np.concatenate([dataset.base, storm])
+    all_ids = np.concatenate(
+        [
+            np.arange(scale.base_vectors, dtype=np.int64),
+            6_000_000 + np.arange(scale.cluster_updates, dtype=np.int64),
+        ]
+    )
+    truth_after = exact_knn(all_vectors, all_ids, queries, scale.k)
+    post_routed = cluster.query(request)
+    post_broadcast = cluster.query(request, broadcast=True)
+    post_routed_recall = recall_at_k(
+        [r.ids for r in post_routed], truth_after, scale.k
+    )
+    post_broadcast_recall = recall_at_k(
+        [r.ids for r in post_broadcast], truth_after, scale.k
+    )
+    cluster.close()
+
+    deterministic = {
+        "routed_recall_at_k": _round(routed_recall, 4),
+        "broadcast_recall_at_k": _round(broadcast_recall, 4),
+        "routing_recall_ratio": _round(
+            routed_recall / broadcast_recall if broadcast_recall > 0 else 0.0,
+            4,
+        ),
+        "shards_probed_fraction": _round(probed_fraction, 4),
+        **percentile_metrics(routed_lat, "routed_latency_us"),
+        **percentile_metrics(broadcast_lat, "broadcast_latency_us"),
+        "routed_latency_speedup": _round(
+            float(np.mean(broadcast_lat)) / float(np.mean(routed_lat))
+            if np.mean(routed_lat) > 0
+            else 0.0
+        ),
+        "process_parity_mismatches": float(process_mismatches),
+        "shard_splits": float(splits),
+        "migrated_vectors": float(cluster.stats.migrated_vectors),
+        "shards_before_split": float(shards_before),
+        "shards_after_split": float(cluster.num_shards),
+        "conservation_violations": float(audit.conservation_violations),
+        "cluster_live_vectors": float(audit.cluster_live_vectors),
+        "post_split_recall_ratio": _round(
+            post_routed_recall / post_broadcast_recall
+            if post_broadcast_recall > 0
+            else 0.0,
+            4,
+        ),
+        "post_split_routed_recall_at_k": _round(post_routed_recall, 4),
+    }
+    wall_clock = {
+        "serial_routed_wall_ms": _round(serial_wall * 1e3),
+        "process_routed_wall_ms": _round(process_wall * 1e3),
+        "process_wall_speedup": _round(
+            serial_wall / process_wall if process_wall > 0 else 0.0
+        ),
+        "process_workers": float(scale.cluster_shards if pool is not None else 0),
+    }
+    return ScenarioResult(
+        scenario="cluster",
+        config={
+            **_scenario_config(scale, seed, config),
+            "queries": len(queries),
+            "num_shards": scale.cluster_shards,
+            "cluster_nprobe": scale.cluster_nprobe,
+            "replication_factor": 2,
+            "split_threshold": split_threshold,
+            "storm_inserts": scale.cluster_updates,
+        },
+        deterministic=deterministic,
+        wall_clock=wall_clock,
+    )
+
+
 def scenario_recovery(scale: PerfScale, seed: int) -> ScenarioResult:
     """WAL append cost plus snapshot + WAL-replay recovery after a restart."""
     dataset = make_sift_like(
@@ -1187,6 +1406,7 @@ SCENARIOS = {
     "rebalance": scenario_rebalance,
     "fresh_tier": scenario_fresh_tier,
     "quantized": scenario_quantized,
+    "cluster": scenario_cluster,
     "recovery": scenario_recovery,
     "cache": scenario_cache,
     "throughput": scenario_throughput,
@@ -1258,6 +1478,9 @@ def run_markdown_summary(results: list[ScenarioResult]) -> str:
         "single_recall_at_k",
         "quant_recall_ratio",
         "quant_read_bytes_speedup",
+        "routing_recall_ratio",
+        "shards_probed_fraction",
+        "conservation_violations",
         "rerank_all_mismatches",
         "fresh_write_amp_speedup",
         "search_parity_mismatches",

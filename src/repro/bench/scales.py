@@ -55,6 +55,9 @@ class PerfScale:
     serve_rate_qps: float = 6000.0  # mean offered load of the arrival trace
     k: int = 10
     nprobe: int = 8
+    cluster_shards: int = 4  # shard count in the cluster scenario
+    cluster_nprobe: int = 2  # shards probed per routed query
+    cluster_updates: int = 200  # churn ops before the split/audit phase
 
 
 PERF_SCALES = {

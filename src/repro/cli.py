@@ -7,6 +7,7 @@ Usage::
     python -m repro simulate --days 10       # Figure-7-style day series
     python -m repro compare --days 7         # SPFresh vs SPANN+ vs DiskANN
     python -m repro sweep-nprobe             # recall/latency trade-off
+    python -m repro cluster --storm 500      # centroid-routed sharding
     python -m repro profile --scale quick    # wall-clock stage profile
     python -m repro serve-bench --report f   # open-loop serving bench
     python -m repro perf --quick             # BENCH_*.json perf harness
@@ -358,6 +359,125 @@ def cmd_serve_bench(args) -> int:
     return 0
 
 
+def cmd_cluster(args) -> int:
+    """Build a centroid-routed cluster and print routing/split/replica stats.
+
+    Compares routed search (``cluster_nprobe`` shards probed) against the
+    broadcast oracle on the same queries, optionally drives a hot-region
+    insert storm through the shard-split path, and audits the cross-shard
+    conservation invariants (docs/distributed.md).
+    """
+    from repro.bench.reporting import format_table
+    from repro.datasets import exact_knn
+    from repro.distributed import ClusterSPFresh
+    from repro.metrics import recall_at_k
+
+    _resolve_scale(args)
+    dataset = _dataset(args)
+    config = SPFreshConfig(
+        dim=args.dim,
+        seed=args.seed,
+        cluster_nprobe=args.cluster_nprobe,
+        cluster_replication_factor=args.replicas,
+        cluster_split_threshold=args.split_threshold,
+        cluster_executor=args.executor,
+    ).validate()
+    rng = np.random.default_rng(args.seed + 1)
+    queries = (
+        dataset.base[rng.integers(0, args.base, size=args.queries)]
+        + rng.normal(scale=0.05, size=(args.queries, args.dim))
+    ).astype(np.float32)
+    truth = exact_knn(dataset.base, np.arange(args.base), queries, 10)
+    with ClusterSPFresh.build(
+        dataset.base, num_shards=args.shards, config=config
+    ) as cluster:
+        parallel = args.executor == "thread"
+        request = QueryRequest(vectors=queries, k=10)
+        routed = cluster.query(request, parallel=parallel)
+        probed = cluster.shards_probed_fraction()
+        broadcast = cluster.query(request, broadcast=True, parallel=parallel)
+        routed_recall = recall_at_k([r.ids for r in routed], truth, 10)
+        oracle_recall = recall_at_k([r.ids for r in broadcast], truth, 10)
+        rows = [
+            (
+                "routed",
+                f"{routed_recall:.4f}",
+                f"{probed:.2f}",
+                f"{np.mean([r.latency_us for r in routed]):.1f}",
+            ),
+            (
+                "broadcast",
+                f"{oracle_recall:.4f}",
+                "1.00",
+                f"{np.mean([r.latency_us for r in broadcast]):.1f}",
+            ),
+        ]
+        print(
+            format_table(
+                ["path", "recall10@10", "shards probed", "mean sim us"],
+                rows,
+                title=(
+                    f"cluster: {args.shards} shards x {args.replicas} "
+                    f"replicas, cluster_nprobe={config.cluster.nprobe}"
+                ),
+            )
+        )
+        if args.executor == "process":
+            import time
+
+            from repro.distributed import ProcessShardPool, fork_available
+
+            if not fork_available():
+                print("\nprocess executor unavailable (no fork); skipped")
+            else:
+                plan = cluster.placement.shards_for_queries(
+                    queries, config.cluster.nprobe
+                )
+                rows_by_shard: dict[int, list[int]] = {}
+                for qi, shards in enumerate(plan):
+                    for s in shards:
+                        rows_by_shard.setdefault(int(s), []).append(qi)
+                jobs = {
+                    s: (queries[r], 10, None)
+                    for s, r in rows_by_shard.items()
+                }
+                with ProcessShardPool(
+                    [g.replicas[0] for g in cluster.groups]
+                ) as pool:
+                    pool.query_shards(jobs)  # warm copy-on-write pages
+                    start = time.perf_counter()
+                    pool.query_shards(jobs)
+                    wall = time.perf_counter() - start
+                print(
+                    f"\nprocess executor: {len(jobs)} workers answered the "
+                    f"routed fan-out in {wall * 1e3:.1f} ms wall "
+                    f"(informational; simulated metrics above are the "
+                    f"gated ones)"
+                )
+        if args.storm:
+            hot = dataset.cluster_centers[0]
+            for i in range(args.storm):
+                vector = (
+                    hot + rng.normal(scale=0.2, size=args.dim)
+                ).astype(np.float32)
+                cluster.insert(7_000_000 + i, vector)
+            splits = cluster.maybe_split()
+            cluster.drain()
+            print(
+                f"\nstorm: {args.storm} hot inserts -> {splits} shard "
+                f"splits, {cluster.stats.migrated_vectors} vectors "
+                f"migrated, {cluster.num_shards} shards now "
+                f"(sizes {cluster.shard_sizes()})"
+            )
+        audit = cluster.check_invariants()
+        status = "OK" if audit.ok else "; ".join(audit.failures)
+        print(
+            f"invariants: {audit.conservation_violations} violations "
+            f"({status}) over {audit.cluster_live_vectors} live vectors"
+        )
+        return 0 if audit.ok else 1
+
+
 def cmd_sweep_nprobe(args) -> int:
     """Trace the recall/latency trade-off across nprobe settings."""
     from repro.bench.reporting import format_table
@@ -467,6 +587,31 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip the unbatched comparison run",
     )
     serve.set_defaults(func=cmd_serve_bench)
+
+    cluster = sub.add_parser(
+        "cluster",
+        parents=[seeded, scaled],
+        help="centroid-routed sharding: routing vs broadcast + audit",
+    )
+    _add_common(cluster, scale_defaults=True)
+    cluster.add_argument("--shards", type=int, default=4)
+    cluster.add_argument(
+        "--cluster-nprobe", type=int, default=2,
+        help="shards probed per routed query",
+    )
+    cluster.add_argument("--replicas", type=int, default=1)
+    cluster.add_argument(
+        "--split-threshold", type=int, default=None,
+        help="live vectors per shard before maybe_split() carves it",
+    )
+    cluster.add_argument(
+        "--executor", choices=("thread", "process"), default="thread",
+    )
+    cluster.add_argument(
+        "--storm", type=int, default=0,
+        help="hot-region inserts to drive before the split/audit phase",
+    )
+    cluster.set_defaults(func=cmd_cluster)
 
     profile = sub.add_parser(
         "profile",

@@ -7,8 +7,8 @@ reassign range covering a local neighborhood of postings, and a handful of
 boundary replicas per vector.
 
 Subsystem knobs live in nested sub-configs (``config.serving``,
-``config.fresh_tier``, ``config.quantize``) so new subsystems stop
-widening one flat namespace. Every historical flat knob
+``config.fresh_tier``, ``config.quantize``, ``config.cluster``) so new
+subsystems stop widening one flat namespace. Every historical flat knob
 (``serve_*`` / ``fresh_*`` / ``enable_fresh_tier``, plus the ``quant_*``
 family for quantization) keeps working as a read/write property alias and
 as a constructor / ``with_overrides`` keyword — see docs/api.md.
@@ -82,6 +82,55 @@ class FreshTierConfig:
 
 
 @dataclass
+class ClusterConfig:
+    """Cluster-scale sharding knobs (repro.distributed, docs/distributed.md).
+
+    Governs :class:`~repro.distributed.ClusterSPFresh`: accuracy-preserving
+    centroid-aware placement (queries probe only the ``nprobe`` shards whose
+    centroid summaries can contribute), shard splits under growth, and
+    replica groups with deterministic read fan-out. ``nprobe=None`` keeps
+    the broadcast path — every shard answers, the exactness oracle the
+    routed path is gated against.
+    """
+
+    # Shards probed per query; None = broadcast to every shard (oracle).
+    nprobe: int | None = 2
+    # Fine centroids per shard in the router's placement summary.
+    centroids_per_shard: int = 8
+    # Live vectors per shard that trigger a shard split; None disables.
+    split_threshold: int | None = None
+    # Replicas per shard group; reads pick one deterministically, writes
+    # fan out to every live replica.
+    replication_factor: int = 1
+    # Wall-clock executor for parallel shard fan-out: "thread" reuses the
+    # in-process pool, "process" escapes the GIL via worker processes.
+    executor: str = "thread"
+    # Modelled cost of ranking shard summaries per query (simulated clock).
+    route_cost_us: float = 5.0
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self) -> "ClusterConfig":
+        if self.nprobe is not None and self.nprobe < 1:
+            raise ConfigError("cluster_nprobe must be positive or None")
+        if self.centroids_per_shard < 1:
+            raise ConfigError("cluster_centroids_per_shard must be at least 1")
+        if self.split_threshold is not None and self.split_threshold < 2:
+            raise ConfigError("cluster_split_threshold must be >= 2 or None")
+        if self.replication_factor < 1:
+            raise ConfigError("cluster_replication_factor must be at least 1")
+        if self.executor not in ("thread", "process"):
+            raise ConfigError(
+                f"unknown cluster_executor {self.executor!r} "
+                f"(choose 'thread' or 'process')"
+            )
+        if self.route_cost_us < 0:
+            raise ConfigError("cluster_route_cost_us must be non-negative")
+        return self
+
+
+@dataclass
 class QuantizeConfig:
     """Compressed posting scans (repro.quantize, docs/quantization.md).
 
@@ -135,9 +184,15 @@ _FLAT_ALIASES: dict[str, tuple[str, str]] = {
     "quant_rerank_k": ("quantize", "rerank_k"),
     "quant_train_sample": ("quantize", "train_sample"),
     "quant_train_iters": ("quantize", "train_iters"),
+    "cluster_nprobe": ("cluster", "nprobe"),
+    "cluster_centroids_per_shard": ("cluster", "centroids_per_shard"),
+    "cluster_split_threshold": ("cluster", "split_threshold"),
+    "cluster_replication_factor": ("cluster", "replication_factor"),
+    "cluster_executor": ("cluster", "executor"),
+    "cluster_route_cost_us": ("cluster", "route_cost_us"),
 }
 
-_SECTIONS = ("serving", "fresh_tier", "quantize")
+_SECTIONS = ("serving", "fresh_tier", "quantize", "cluster")
 
 
 @dataclass
@@ -206,6 +261,7 @@ class SPFreshConfig:
     fresh_tier: FreshTierConfig = field(default_factory=FreshTierConfig)
     serving: ServingConfig = field(default_factory=ServingConfig)
     quantize: QuantizeConfig = field(default_factory=QuantizeConfig)
+    cluster: ClusterConfig = field(default_factory=ClusterConfig)
 
     # --- misc ---
     # Wall-clock profiler (repro.metrics.profiling). Off by default: the
@@ -252,6 +308,7 @@ class SPFreshConfig:
         self.fresh_tier.validate()
         self.serving.validate()
         self.quantize.validate()
+        self.cluster.validate()
         if (
             self.quantize.enabled
             and self.quantize.kind == "pq"

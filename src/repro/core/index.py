@@ -269,6 +269,9 @@ class SPFreshIndex:
                 f"query() wants a repro.api.QueryRequest, got "
                 f"{type(request).__name__}"
             )
+        if len(request.vectors) == 0:
+            # An empty batch is well-defined: nothing probed, no results.
+            return SearchResponse(results=(), request=request)
         if request.is_single:
             results = [
                 self.searcher.search(
@@ -347,8 +350,6 @@ class SPFreshIndex:
         if k is None:
             raise TypeError("search_batch(queries, k) requires k")
         queries = as_matrix(queries, self.config.dim)
-        if len(queries) == 0:
-            return []
         request = QueryRequest(vectors=queries, k=k, nprobe=nprobe)
         return list(self.query(request).results)
 

@@ -252,3 +252,159 @@ def check_invariants(
         npa_allowance = max(2, checked // 25)
     report.npa_allowance = npa_allowance
     return report
+
+
+# ----------------------------------------------------------------------
+# cluster-level invariants (conservation extended across shards)
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class ClusterInvariantReport:
+    """Outcome of one :func:`check_cluster_invariants` sweep.
+
+    ``conservation_violations`` is the aggregate the CI cluster gate
+    asserts to be zero: lost ids + misplaced ids + cross-shard duplicates
+    + diverged replicas + any per-shard single-node audit failure.
+    """
+
+    num_shards: int = 0
+    directory_size: int = 0
+    cluster_live_vectors: int = 0
+    # Directory ids with no live copy in their home shard (lost at
+    # cluster level even if some shard-local audit passes).
+    lost_ids: list[int] = field(default_factory=list)
+    # Shard-live ids the directory does not claim for that shard: either
+    # orphans (no directory entry at all) or leftovers a migration failed
+    # to delete from the old home (the cross-shard "ghost replica" case).
+    misplaced_ids: list[tuple[int, int]] = field(default_factory=list)
+    # Ids live in more than one shard at once (each id has exactly one
+    # home; a split migrates by delete+insert, never by copy).
+    duplicate_ids: list[int] = field(default_factory=list)
+    # (shard, replica) pairs whose live id set differs from the primary's
+    # (replicas are bit-identical builds fed identical writes).
+    diverged_replicas: list[tuple[int, int]] = field(default_factory=list)
+    # Placement coherence: shards with zero fine centroids can never be
+    # routed to, stranding their vectors.
+    unroutable_shards: list[int] = field(default_factory=list)
+    # Per-shard single-node audits that failed (shard id -> failures).
+    shard_failures: dict[int, list[str]] = field(default_factory=dict)
+
+    @property
+    def conservation_violations(self) -> int:
+        return (
+            len(self.lost_ids)
+            + len(self.misplaced_ids)
+            + len(self.duplicate_ids)
+            + len(self.diverged_replicas)
+            + len(self.unroutable_shards)
+            + sum(len(f) for f in self.shard_failures.values())
+        )
+
+    @property
+    def failures(self) -> list[str]:
+        out: list[str] = []
+        if self.lost_ids:
+            out.append(
+                f"{len(self.lost_ids)} directory ids have no live copy in "
+                f"their home shard (e.g. {self.lost_ids[:5]})"
+            )
+        if self.misplaced_ids:
+            out.append(
+                f"{len(self.misplaced_ids)} live rows outside their "
+                f"directory home (e.g. {self.misplaced_ids[:5]})"
+            )
+        if self.duplicate_ids:
+            out.append(
+                f"{len(self.duplicate_ids)} ids live in multiple shards "
+                f"(e.g. {self.duplicate_ids[:5]})"
+            )
+        if self.diverged_replicas:
+            out.append(
+                f"replicas diverged from their primary: "
+                f"{self.diverged_replicas[:5]}"
+            )
+        if self.unroutable_shards:
+            out.append(f"unroutable shards: {self.unroutable_shards[:5]}")
+        for shard_id, failures in sorted(self.shard_failures.items()):
+            out.append(f"shard {shard_id}: {'; '.join(failures)}")
+        return out
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def raise_if_failed(self) -> None:
+        if not self.ok:
+            raise InvariantViolation("; ".join(self.failures))
+
+
+def check_cluster_invariants(
+    cluster,
+    *,
+    check_shards: bool = True,
+    npa_sample: int = 64,
+    seed: int = 0,
+) -> ClusterInvariantReport:
+    """Audit a ``ClusterSPFresh`` against cross-shard conservation.
+
+    Extends the single-node conservation story one level up: the
+    directory and the shards must agree exactly — every directory id live
+    in precisely its home shard, no orphans, no cross-shard duplicates,
+    every replica's live id set converged with its group primary, every
+    shard reachable by the router. With ``check_shards`` each group
+    primary also gets the full single-node :func:`check_invariants`
+    sweep (size bounds included, since splits/migrations drain LIRE).
+    """
+    report = ClusterInvariantReport(
+        num_shards=len(cluster.groups),
+        directory_size=len(cluster.directory),
+    )
+
+    sizes = cluster.placement.group_sizes()
+    report.unroutable_shards = [
+        int(s) for s in range(cluster.placement.num_shards) if sizes[s] == 0
+    ]
+
+    shard_live: dict[int, set[int]] = {}
+    for group in cluster.groups:
+        primary = group.primary
+        primary_ids = {int(v) for v in primary.version_map.live_ids()}
+        shard_live[group.shard_id] = primary_ids
+        for replica_id in group.live_indices():
+            replica = group.replicas[replica_id]
+            if replica is primary:
+                continue
+            ids = {int(v) for v in replica.version_map.live_ids()}
+            if ids != primary_ids:
+                report.diverged_replicas.append(
+                    (group.shard_id, replica_id)
+                )
+        if check_shards:
+            shard_report = check_invariants(
+                primary, npa_sample=npa_sample, seed=seed
+            )
+            if not shard_report.ok:
+                report.shard_failures[group.shard_id] = shard_report.failures
+
+    report.cluster_live_vectors = sum(len(s) for s in shard_live.values())
+
+    claimed: dict[int, int] = {}
+    for vid, home in cluster.directory.items():
+        claimed[vid] = home
+        if home not in shard_live or vid not in shard_live[home]:
+            report.lost_ids.append(vid)
+    report.lost_ids.sort()
+
+    seen: dict[int, int] = {}
+    for shard_id, ids in sorted(shard_live.items()):
+        for vid in ids:
+            if claimed.get(vid) != shard_id:
+                report.misplaced_ids.append((vid, shard_id))
+            if vid in seen:
+                report.duplicate_ids.append(vid)
+            else:
+                seen[vid] = shard_id
+    report.misplaced_ids.sort()
+    report.duplicate_ids = sorted(set(report.duplicate_ids))
+    return report

@@ -2,13 +2,41 @@
 
 The paper closes with "SPFresh's solid single-node performance builds a
 strong foundation for the future distributed version." This package
-provides that version at reproduction scale: a shard router that
-scatter-gathers queries over N independent single-node SPFresh indexes,
-hash-routes updates, and aggregates checkpoints — the standard design of
-production vector databases (each shard is exactly the single-node system,
-unchanged).
+provides that version at reproduction scale, in two tiers:
+
+* :class:`ShardedSPFresh` — the baseline design of production vector
+  databases: hash-routed updates, every query scatter-gathered over N
+  independent single-node SPFresh indexes;
+* :class:`ClusterSPFresh` — the cluster model ROADMAP item 2 asks for:
+  accuracy-preserving centroid-aware placement
+  (:class:`CentroidPlacement`) so queries probe only the shards that can
+  contribute, shard splits with posting migration (LIRE at cluster
+  granularity), replica groups with deterministic fan-out and
+  failure/recovery, and an optional process-per-shard executor
+  (:class:`ProcessShardPool`) so wall-clock shard parallelism escapes
+  the GIL. See docs/distributed.md.
+
+Each shard is exactly the single-node system, unchanged.
 """
 
+from repro.distributed.cluster import (
+    ClusterSPFresh,
+    ClusterStats,
+    ClusterUnavailableError,
+    ShardGroup,
+)
+from repro.distributed.executor import ProcessShardPool, fork_available
+from repro.distributed.placement import CentroidPlacement
 from repro.distributed.sharded import ShardedSPFresh, ShardRouter
 
-__all__ = ["ShardedSPFresh", "ShardRouter"]
+__all__ = [
+    "CentroidPlacement",
+    "ClusterSPFresh",
+    "ClusterStats",
+    "ClusterUnavailableError",
+    "ProcessShardPool",
+    "ShardGroup",
+    "ShardRouter",
+    "ShardedSPFresh",
+    "fork_available",
+]

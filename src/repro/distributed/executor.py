@@ -1,0 +1,142 @@
+"""Process-per-shard executor: shard fan-out that escapes the GIL.
+
+Threaded fan-out (``ClusterSPFresh.query(parallel=True)``) interleaves
+shard work on one interpreter, so CPU-bound scans serialize on the GIL
+and the wall-clock "speedup" from sharding is mostly an illusion.
+:class:`ProcessShardPool` runs one persistent worker **process** per
+shard, so shard scans genuinely overlap on separate cores.
+
+Design constraints, in order of importance:
+
+* **determinism** — the simulated clock stays the gated metric; the
+  pool's job is wall-clock only, and its *answers* must be bit-identical
+  to running the same sub-batches serially. The subtlety is that
+  ``SPFreshIndex.query`` has maintenance side effects (it schedules
+  merges for undersized postings), so parity only holds when workers
+  replay the same per-shard sub-batch sequence from the same starting
+  state. Fork the pool **before** driving queries through the parent's
+  copies, then send every sub-batch through the pool (or compare against
+  a serial replay from an identical fork-time build, as the perf
+  scenario does).
+* **no pickling of the index** — with the ``fork`` start method the
+  worker inherits the parent's built :class:`SPFreshIndex` objects
+  by address-space copy; nothing is serialized. This is why the pool
+  prefers ``fork`` and why forking requires ``synchronous_rebuild``
+  indexes (no live background threads to duplicate mid-state —
+  enforced below).
+* **graceful degradation** — on platforms without ``fork`` (Windows,
+  some macOS configurations) the pool raises at construction; callers
+  fall back to threads. Queries keep working either way.
+
+Wire protocol (parent -> worker over a ``Pipe``): ``("query", vectors,
+k, nprobe)`` answered with a list of per-query result tuples (ids,
+distances, latency_us) — small arrays, cheap to pickle back; or
+``("stop",)`` to exit. Workers are daemonic so a crashed parent cannot
+leak them.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+
+import numpy as np
+
+from repro.api import QueryRequest
+
+
+def fork_available() -> bool:
+    """True when the ``fork`` start method exists on this platform."""
+    return "fork" in mp.get_all_start_methods()
+
+
+def _worker_loop(index, conn) -> None:
+    """Worker body: answer query jobs for one inherited shard index."""
+    try:
+        while True:
+            job = conn.recv()
+            if job[0] == "stop":
+                break
+            _, vectors, k, nprobe = job
+            request = QueryRequest(vectors=vectors, k=k, nprobe=nprobe)
+            results = index.query(request)
+            conn.send(
+                [
+                    (r.ids, r.distances, r.latency_us)
+                    for r in results
+                ]
+            )
+    finally:
+        conn.close()
+
+
+class ProcessShardPool:
+    """One persistent forked worker process per shard index."""
+
+    def __init__(self, indexes) -> None:
+        if not fork_available():
+            raise RuntimeError(
+                "ProcessShardPool needs the 'fork' start method; "
+                "use threaded fan-out on this platform"
+            )
+        for index in indexes:
+            if getattr(index, "_background_running", False):
+                raise RuntimeError(
+                    "cannot fork an index with live background workers; "
+                    "build with synchronous_rebuild=True (the default) "
+                    "or stop() workers first"
+                )
+        ctx = mp.get_context("fork")
+        self._conns = []
+        self._procs = []
+        for index in indexes:
+            parent_conn, child_conn = ctx.Pipe()
+            proc = ctx.Process(
+                target=_worker_loop, args=(index, child_conn), daemon=True
+            )
+            proc.start()
+            child_conn.close()
+            self._conns.append(parent_conn)
+            self._procs.append(proc)
+        self._closed = False
+
+    def __len__(self) -> int:
+        return len(self._procs)
+
+    def query_shards(
+        self, jobs: dict[int, tuple[np.ndarray, int, int | None]]
+    ) -> dict[int, list[tuple[np.ndarray, np.ndarray, float]]]:
+        """Fan jobs out to their shard workers; gather per-query tuples.
+
+        ``jobs`` maps shard id -> ``(vectors, k, nprobe)``. All sends go
+        out before any receive, so the workers genuinely run in parallel;
+        results come back keyed by shard id as ``(ids, distances,
+        latency_us)`` tuples in sub-batch order.
+        """
+        if self._closed:
+            raise RuntimeError("pool is closed")
+        order = sorted(jobs)
+        for shard_id in order:
+            vectors, k, nprobe = jobs[shard_id]
+            self._conns[shard_id].send(("query", vectors, k, nprobe))
+        return {shard_id: self._conns[shard_id].recv() for shard_id in order}
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for conn in self._conns:
+            try:
+                conn.send(("stop",))
+                conn.close()
+            except (BrokenPipeError, OSError):
+                pass
+        for proc in self._procs:
+            proc.join(timeout=5)
+            if proc.is_alive():
+                proc.terminate()
+
+    def __enter__(self) -> "ProcessShardPool":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

@@ -137,6 +137,9 @@ class ShardedSPFresh:
         request = request.with_vectors(
             as_matrix(request.vectors, self.shards[0].config.dim)
         )
+        if len(request.vectors) == 0:
+            # An empty batch is well-defined: no shard probed, no results.
+            return SearchResponse(results=(), request=request)
         if parallel:
             pool = self._ensure_pool()
             per_shard = list(
@@ -204,8 +207,6 @@ class ShardedSPFresh:
         if k is None:
             raise TypeError("search_many(queries, k) requires k")
         queries = as_matrix(queries, self.shards[0].config.dim)
-        if len(queries) == 0:
-            return []
         request = QueryRequest(vectors=queries, k=k, nprobe=nprobe)
         return list(self.query(request, parallel=parallel).results)
 

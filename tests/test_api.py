@@ -20,9 +20,16 @@ class TestQueryRequest:
         assert req.vectors.shape == (5, 8)
         assert not req.is_single
 
-    def test_rejects_empty_and_3d(self):
+    def test_explicit_empty_batch_is_well_defined(self):
+        # A 2-D (0, dim) batch is a legal "no queries" request ...
+        req = QueryRequest(vectors=np.zeros((0, 8)))
+        assert req.vectors.shape == (0, 8)
+        assert not req.is_single
+
+    def test_rejects_empty_1d_and_3d(self):
+        # ... but an empty 1-D vector is ambiguous, and 3-D is nonsense.
         with pytest.raises(ValueError):
-            QueryRequest(vectors=np.zeros((0, 8)))
+            QueryRequest(vectors=np.zeros(0))
         with pytest.raises(ValueError):
             QueryRequest(vectors=np.zeros((2, 3, 4)))
 

@@ -1,0 +1,428 @@
+"""Tests for the cluster model: placement, routing, splits, replicas."""
+
+import numpy as np
+import pytest
+
+from repro.api import QueryRequest
+from repro.datasets import exact_knn, make_arrival_trace
+from repro.distributed import (
+    CentroidPlacement,
+    ClusterSPFresh,
+    ClusterUnavailableError,
+    ProcessShardPool,
+    ShardedSPFresh,
+    fork_available,
+)
+from repro.serving import ServingFrontend
+from repro.storage.faults import FaultInjectingSSD, FaultPlan
+from repro.storage.ssd import SimulatedSSD, SSDProfile
+from repro.util.errors import IndexError_
+from tests.conftest import DIM
+
+
+@pytest.fixture
+def cluster_config(small_config):
+    return small_config.with_overrides(
+        cluster_nprobe=2, cluster_centroids_per_shard=4
+    )
+
+
+@pytest.fixture
+def cluster(vectors, cluster_config):
+    with ClusterSPFresh.build(
+        vectors, num_shards=3, config=cluster_config
+    ) as index:
+        yield index
+
+
+@pytest.fixture
+def replicated(vectors, cluster_config):
+    config = cluster_config.with_overrides(cluster_replication_factor=2)
+    with ClusterSPFresh.build(vectors, num_shards=3, config=config) as index:
+        yield index
+
+
+class TestPlacement:
+    def test_fit_is_deterministic(self, vectors):
+        a = CentroidPlacement.fit(vectors, 3, centroids_per_shard=4, seed=9)
+        b = CentroidPlacement.fit(vectors, 3, centroids_per_shard=4, seed=9)
+        np.testing.assert_array_equal(a.centroids, b.centroids)
+        np.testing.assert_array_equal(a.shard_of_centroid, b.shard_of_centroid)
+
+    def test_every_shard_owns_a_region(self, vectors):
+        placement = CentroidPlacement.fit(vectors, 3, centroids_per_shard=4)
+        sizes = placement.group_sizes()
+        assert len(sizes) == 3
+        assert sizes.min() >= 1
+        assert sizes.max() / sizes.min() <= 3.0
+
+    def test_route_vectors_in_range(self, vectors):
+        placement = CentroidPlacement.fit(vectors, 3, centroids_per_shard=4)
+        homes = placement.route_vectors(vectors)
+        assert homes.min() >= 0 and homes.max() < 3
+        assert len(homes) == len(vectors)
+
+    def test_shards_for_queries_respects_nprobe(self, vectors):
+        placement = CentroidPlacement.fit(vectors, 3, centroids_per_shard=4)
+        queries = vectors[:5]
+        for shards in placement.shards_for_queries(queries, 2):
+            assert len(shards) == 2
+        for shards in placement.shards_for_queries(queries, None):
+            assert sorted(shards) == [0, 1, 2]
+        for shards in placement.shards_for_queries(queries, 99):
+            assert sorted(shards) == [0, 1, 2]
+
+    def test_split_group_moves_some_keeps_some(self, vectors):
+        placement = CentroidPlacement.fit(vectors, 3, centroids_per_shard=4)
+        rng = np.random.default_rng(0)
+        before = placement.group_sizes()[0]
+        moved = placement.split_group(0, 3, rng)
+        assert 1 <= len(moved) < before
+        assert placement.num_shards == 4
+        assert (placement.shard_of_centroid[moved] == 3).all()
+        assert placement.group_sizes()[0] >= 1
+
+    def test_too_few_vectors_rejected(self, rng):
+        few = rng.normal(size=(3, DIM)).astype(np.float32)
+        with pytest.raises(ValueError):
+            CentroidPlacement.fit(few, 64)
+
+
+class TestBuild:
+    def test_all_vectors_placed(self, cluster, vectors):
+        assert cluster.num_shards == 3
+        assert cluster.live_vector_count == len(vectors)
+        assert sum(cluster.shard_sizes()) == len(vectors)
+        assert len(cluster.directory) == len(vectors)
+
+    def test_fresh_build_passes_audit(self, cluster):
+        report = cluster.check_invariants()
+        assert report.ok, report.failures
+        assert report.conservation_violations == 0
+
+    def test_placement_and_directory_agree(self, cluster, vectors):
+        homes = cluster.placement.route_vectors(vectors)
+        for vid, home in enumerate(homes):
+            assert cluster.directory[vid] == home
+
+
+class TestRoutedSearch:
+    def test_broadcast_matches_exact(self, cluster, vectors):
+        queries = vectors[:10] + 0.01
+        gt = exact_knn(vectors, np.arange(len(vectors)), queries, 5)
+        request = QueryRequest(vectors=queries, k=5, nprobe=10**6)
+        response = cluster.query(request, broadcast=True)
+        for i, result in enumerate(response.results):
+            assert set(map(int, result.ids)) == set(map(int, gt[i]))
+
+    def test_routed_recall_close_to_broadcast(self, cluster, vectors):
+        queries = vectors[:40] + 0.01
+        request = QueryRequest(vectors=queries, k=5, nprobe=10**6)
+        routed = cluster.query(request)
+        broadcast = cluster.query(request, broadcast=True)
+        hits = total = 0
+        for r, b in zip(routed.results, broadcast.results):
+            hits += len(set(map(int, r.ids)) & set(map(int, b.ids)))
+            total += len(b.ids)
+        assert hits / total >= 0.9
+        assert cluster.shards_probed_fraction() < 1.0
+
+    def test_routed_probes_nprobe_shards(self, cluster, vectors):
+        request = QueryRequest(vectors=vectors[:7], k=3)
+        cluster.query(request)
+        assert cluster.stats.queries == 7
+        assert cluster.stats.shards_probed == 7 * 2  # cluster_nprobe=2
+
+    def test_latency_model(self, cluster, vectors):
+        request = QueryRequest(vectors=vectors[:3], k=5)
+        for result in cluster.query(request).results:
+            floor = (
+                cluster.config.cluster.route_cost_us
+                + ClusterSPFresh.MERGE_COST_US
+            )
+            assert result.latency_us > floor
+            assert result.io_latency_us <= result.latency_us
+
+    def test_parallel_mode_same_results(self, cluster, vectors):
+        request = QueryRequest(vectors=vectors[:8] + 0.01, k=5)
+        serial = cluster.query(request)
+        parallel = cluster.query(request, parallel=True)
+        for s, p in zip(serial.results, parallel.results):
+            np.testing.assert_array_equal(s.ids, p.ids)
+            np.testing.assert_array_equal(s.distances, p.distances)
+
+    def test_rejects_untyped_query(self, cluster, vectors):
+        with pytest.raises(TypeError):
+            cluster.query(vectors[0])
+
+
+class TestUpdates:
+    def test_insert_routes_by_centroid(self, cluster, rng):
+        vec = rng.normal(size=DIM).astype(np.float32)
+        want = int(cluster.placement.route_vectors(vec[None])[0])
+        before = cluster.shard_sizes()
+        cluster.insert(90_000, vec)
+        after = cluster.shard_sizes()
+        assert cluster.directory[90_000] == want
+        assert after[want] == before[want] + 1
+        assert sum(after) == sum(before) + 1
+
+    def test_inserted_vector_found(self, cluster, rng):
+        vec = rng.normal(size=DIM).astype(np.float32)
+        cluster.insert(91_000, vec)
+        request = QueryRequest.single(vec, k=1, nprobe=10**6)
+        result = cluster.query(request, broadcast=True).result
+        assert int(result.ids[0]) == 91_000
+
+    def test_delete_hides_and_missing_raises(self, cluster, vectors):
+        cluster.delete(5)
+        request = QueryRequest.single(vectors[5], k=10, nprobe=10**6)
+        result = cluster.query(request, broadcast=True).result
+        assert 5 not in set(map(int, result.ids))
+        with pytest.raises(IndexError_):
+            cluster.delete(5)
+
+    def test_reinsert_rehomes_on_drift(self, cluster, vectors):
+        homes = cluster.placement.route_vectors(vectors)
+        a = int(np.nonzero(homes == homes[0])[0][0])
+        b = int(np.nonzero(homes != homes[0])[0][0])
+        cluster.insert(95_000, vectors[a])
+        assert cluster.directory[95_000] == homes[a]
+        cluster.insert(95_000, vectors[b])
+        assert cluster.directory[95_000] == homes[b]
+        assert cluster.stats.rerouted_updates == 1
+        report = cluster.check_invariants()
+        assert report.ok, report.failures
+        assert report.duplicate_ids == []
+
+
+class TestSplit:
+    def test_hot_shard_splits_and_conserves(self, vectors, cluster_config):
+        config = cluster_config.with_overrides(cluster_split_threshold=160)
+        rng = np.random.default_rng(11)
+        with ClusterSPFresh.build(
+            vectors, num_shards=3, config=config
+        ) as cluster:
+            hot = (
+                vectors[0][None]
+                + rng.normal(scale=0.3, size=(80, DIM)).astype(np.float32)
+            ).astype(np.float32)
+            for i, vec in enumerate(hot):
+                cluster.insert(10_000 + i, vec)
+            assert max(cluster.shard_sizes()) > 160
+            splits = cluster.maybe_split()
+            assert splits >= 1
+            assert cluster.num_shards == 3 + splits
+            assert cluster.stats.migrated_vectors > 0
+            assert cluster.placement.num_shards == cluster.num_shards
+            # Conservation across the migration: nothing lost, nothing
+            # duplicated, every id where its directory entry says.
+            total = len(vectors) + len(hot)
+            assert sum(cluster.shard_sizes()) == total
+            assert len(cluster.directory) == total
+            report = cluster.check_invariants()
+            assert report.ok, report.failures
+            assert report.conservation_violations == 0
+
+    def test_post_split_broadcast_still_exact(self, vectors, cluster_config):
+        config = cluster_config.with_overrides(cluster_split_threshold=160)
+        rng = np.random.default_rng(12)
+        with ClusterSPFresh.build(
+            vectors, num_shards=3, config=config
+        ) as cluster:
+            hot = (
+                vectors[0][None]
+                + rng.normal(scale=0.3, size=(80, DIM)).astype(np.float32)
+            ).astype(np.float32)
+            for i, vec in enumerate(hot):
+                cluster.insert(10_000 + i, vec)
+            assert cluster.maybe_split() >= 1
+            all_vectors = np.concatenate([vectors, hot])
+            all_ids = np.concatenate(
+                [np.arange(len(vectors)), 10_000 + np.arange(len(hot))]
+            )
+            queries = np.concatenate([vectors[:6], hot[:6]]) + 0.01
+            gt = exact_knn(all_vectors, all_ids, queries, 5)
+            request = QueryRequest(vectors=queries, k=5, nprobe=10**6)
+            response = cluster.query(request, broadcast=True)
+            for i, result in enumerate(response.results):
+                assert set(map(int, result.ids)) == set(map(int, gt[i]))
+
+    def test_no_threshold_means_no_splits(self, cluster):
+        assert cluster.maybe_split() == 0
+        assert cluster.num_shards == 3
+
+
+class TestReplicas:
+    def test_fanout_deterministic_under_fixed_seed(self, vectors, cluster_config):
+        config = cluster_config.with_overrides(cluster_replication_factor=2)
+        picks = []
+        for _ in range(2):
+            with ClusterSPFresh.build(
+                vectors, num_shards=3, config=config
+            ) as cluster:
+                trail = []
+                for q in vectors[:15]:
+                    cluster.query(QueryRequest.single(q, k=3))
+                    trail.append(dict(cluster.last_replica_read))
+                picks.append(trail)
+        assert picks[0] == picks[1]
+
+    def test_reads_spread_over_replicas(self, replicated, vectors):
+        seen: dict[int, set[int]] = {}
+        for q in vectors[:30]:
+            replicated.query(QueryRequest.single(q, k=3), broadcast=True)
+            for shard, replica in replicated.last_replica_read.items():
+                seen.setdefault(shard, set()).add(replica)
+        assert any(len(replicas) == 2 for replicas in seen.values())
+
+    def test_replicas_bit_identical(self, replicated):
+        report = replicated.check_invariants()
+        assert report.ok, report.failures
+        assert report.diverged_replicas == []
+
+    def test_read_skips_downed_replica(self, replicated, vectors):
+        replicated.fail_replica(0, 0)
+        for q in vectors[:10]:
+            replicated.query(QueryRequest.single(q, k=3), broadcast=True)
+            assert replicated.last_replica_read[0] == 1
+
+    def test_all_replicas_down_is_unavailable(self, replicated, vectors):
+        replicated.fail_replica(0, 0)
+        replicated.fail_replica(0, 1)
+        with pytest.raises(ClusterUnavailableError):
+            replicated.query(
+                QueryRequest.single(vectors[0], k=3), broadcast=True
+            )
+
+    def test_recover_replica_resyncs_writes(self, replicated, rng):
+        replicated.fail_replica(0, 0)
+        for i in range(20):
+            replicated.insert(
+                80_000 + i, rng.normal(size=DIM).astype(np.float32)
+            )
+        rows = replicated.recover_replica(0, 0)
+        assert rows == replicated.groups[0].primary.live_vector_count
+        assert not replicated.groups[0].down[0]
+        assert replicated.stats.replica_resyncs == 1
+        report = replicated.check_invariants()
+        assert report.ok, report.failures
+        assert report.diverged_replicas == []
+
+    def test_audit_flags_diverged_replica(self, replicated, rng):
+        # Bypass the cluster write path: one replica silently gains a row.
+        replicated.groups[0].replicas[1].insert(
+            70_000, rng.normal(size=DIM).astype(np.float32)
+        )
+        report = replicated.check_invariants()
+        assert not report.ok
+        assert (0, 1) in report.diverged_replicas
+        assert report.conservation_violations > 0
+        with pytest.raises(IndexError_):
+            report.raise_if_failed()
+
+
+class TestFaultInjection:
+    def test_device_fault_fails_over_mid_read(self, vectors, cluster_config):
+        config = cluster_config.with_overrides(cluster_replication_factor=2)
+        plan = FaultPlan(seed=3, read_error_rate=1.0).disarm()
+
+        def device_factory(shard_id, replica_id, shard_config):
+            device = SimulatedSSD(
+                shard_config.ssd_blocks,
+                SSDProfile(block_size=shard_config.block_size),
+            )
+            if shard_id == 0 and replica_id == 0:
+                return FaultInjectingSSD(device, plan)
+            return device
+
+        with ClusterSPFresh.build(
+            vectors, num_shards=3, config=config, device_factory=device_factory
+        ) as cluster:
+            plan.arm()  # every read on shard 0 / replica 0 now errors
+            for q in vectors[:20]:
+                result = cluster.query(
+                    QueryRequest.single(q, k=3), broadcast=True
+                ).result
+                assert len(result.ids) > 0  # failover kept answers flowing
+                if cluster.groups[0].down[0]:
+                    break
+            assert cluster.groups[0].down[0]
+            assert cluster.stats.replica_failovers >= 1
+            assert cluster.last_replica_read[0] == 1
+
+
+class TestEmptyBatch:
+    """The empty batch is well-defined on every query() facade."""
+
+    def _empty(self):
+        return QueryRequest(vectors=np.empty((0, DIM), dtype=np.float32), k=5)
+
+    def test_single_node(self, built_index):
+        response = built_index.query(self._empty())
+        assert response.results == ()
+
+    def test_sharded(self, vectors, small_config):
+        with ShardedSPFresh.build(
+            vectors, num_shards=3, config=small_config
+        ) as sharded:
+            assert sharded.query(self._empty()).results == ()
+
+    def test_cluster(self, cluster):
+        response = cluster.query(self._empty())
+        assert response.results == ()
+        assert cluster.stats.queries == 0  # nothing probed, nothing counted
+
+
+@pytest.mark.skipif(not fork_available(), reason="needs fork start method")
+class TestProcessPool:
+    def test_pooled_answers_match_serial_replay(self, cluster, vectors):
+        queries = (vectors[:12] + 0.01).astype(np.float32)
+        plan = cluster.placement.shards_for_queries(
+            queries, cluster.config.cluster.nprobe
+        )
+        batches: dict[int, list[int]] = {}
+        for qi, shards in enumerate(plan):
+            for shard in shards:
+                batches.setdefault(int(shard), []).append(qi)
+        # Fork BEFORE the parent runs anything: workers and the parent
+        # then replay identical sub-batches from identical (build) state.
+        with ProcessShardPool(
+            [g.primary for g in cluster.groups]
+        ) as pool:
+            jobs = {
+                shard: (queries[rows], 5, None)
+                for shard, rows in batches.items()
+            }
+            pooled = pool.query_shards(jobs)
+            for shard, rows in batches.items():
+                sub = QueryRequest(vectors=queries[rows], k=5)
+                serial = list(cluster.groups[shard].primary.query(sub))
+                assert len(pooled[shard]) == len(serial)
+                for (ids, dists, latency), want in zip(pooled[shard], serial):
+                    np.testing.assert_array_equal(ids, want.ids)
+                    np.testing.assert_array_equal(dists, want.distances)
+                    assert latency == want.latency_us
+
+    def test_closed_pool_rejects_jobs(self, cluster):
+        pool = ProcessShardPool([g.primary for g in cluster.groups])
+        pool.close()
+        pool.close()  # idempotent
+        with pytest.raises(RuntimeError):
+            pool.query_shards({0: (np.zeros((1, DIM), np.float32), 1, None)})
+
+
+class TestServingPassthrough:
+    def test_frontend_drives_cluster_engine(self, cluster, vectors, rng):
+        pool = (vectors[:32] + rng.normal(scale=0.05, size=(32, DIM))).astype(
+            np.float32
+        )
+        trace = make_arrival_trace(pool, 80, 8000.0, seed=2, name="cluster")
+        fe = ServingFrontend(cluster, k=5, queue_capacity=64, keep_results=True)
+        report = fe.run(trace)
+        answered = report.answered
+        assert len(answered) + len(report.shed) == len(trace)
+        assert len(answered) > 0
+        for outcome in answered:
+            assert outcome.result is not None
+            assert 0 < len(outcome.result.ids) <= 5

@@ -17,24 +17,33 @@ def sharded(vectors, small_config):
         yield index
 
 
-@pytest.fixture(params=["disk-only", "fresh-tier"])
+@pytest.fixture(params=["disk", "fresh", "pq", "fresh-pq"])
 def facade(request, vectors, small_config):
-    """Sharded facade in both write-path modes.
+    """Sharded facade across the write-path x scan-path matrix.
 
-    The ``fresh-tier`` variant enables the LSM-style memory tier on every
-    shard (threshold high enough that nothing auto-flushes) and buffers a
-    batch of extra inserts, so the scatter-gather paths are exercised with
-    tier-resident vectors on the shards.
+    ``fresh`` variants enable the LSM-style memory tier on every shard
+    (threshold high enough that nothing auto-flushes) and buffer a batch
+    of extra inserts, so the scatter-gather paths are exercised with
+    tier-resident vectors on the shards. ``pq`` variants store postings
+    quantized, so the merge paths run over reranked compressed scans.
     """
-    config = small_config
-    if request.param == "fresh-tier":
-        config = small_config.with_overrides(
+    overrides = {}
+    if "fresh" in request.param:
+        overrides.update(
             enable_fresh_tier=True,
             fresh_flush_threshold=10_000,
             search_latency_budget_us=None,
         )
+    if "pq" in request.param:
+        overrides.update(
+            quant_enabled=True,
+            quant_kind="pq",
+            quant_subspaces=8,
+            quant_codebook_size=16,
+        )
+    config = small_config.with_overrides(**overrides) if overrides else small_config
     with ShardedSPFresh.build(vectors, num_shards=3, config=config) as index:
-        if request.param == "fresh-tier":
+        if "fresh" in request.param:
             rng = np.random.default_rng(99)
             for i in range(40):
                 index.insert(50_000 + i, rng.normal(size=DIM).astype(np.float32))
