@@ -1400,6 +1400,182 @@ def scenario_serving(scale: PerfScale, seed: int) -> ScenarioResult:
     )
 
 
+def scenario_serving_concurrent(scale: PerfScale, seed: int) -> ScenarioResult:
+    """K-worker serving: goodput scaling, DWRR fairness, pool parity.
+
+    Three claims, one scenario:
+
+    * **goodput scales with workers** — a saturating Poisson trace (rate
+      far above one worker's drain rate) runs through the frontend at
+      ``num_workers=1`` and ``num_workers=serve_workers``; simulated
+      goodput must scale (``workers_goodput_speedup`` gates >= 2 at
+      K=4). Deterministic: both runs are pure functions of the trace.
+    * **DWRR bounds the victims' tail** — a hot-key-skewed trace with one
+      dominant tenant (8x the others' weight) runs FIFO vs DWRR at the
+      same K. The *victim* p99 (worst p99 among non-dominant tenants)
+      must not be worse under DWRR (``dwrr_fairness_speedup`` gates
+      >= 1); per-tenant p99 spreads for both policies ship alongside.
+    * **wall-clock pools are bit-exact** — the exact batch schedule the
+      K-worker run produced replays serially, on a shared-engine thread
+      pool, and (where ``fork`` exists) on a forked process pool; every
+      seat's (ids, distances) must match the serial replay
+      (``pool_parity_mismatches`` / ``process_parity_mismatches`` gate
+      at 0). The pools run at the searcher layer, which has no
+      maintenance side effects, so parity is exact by construction.
+      Pool wall speedups are informational (host-dependent), never
+      gated.
+    """
+    from repro.datasets import make_arrival_trace
+    from repro.serving import (
+        ProcessEnginePool,
+        ServingFrontend,
+        ThreadEnginePool,
+        batch_jobs,
+        count_mismatches,
+        serial_replay,
+    )
+    from repro.distributed import fork_available
+
+    dataset = make_sift_like(scale.base_vectors, 0, dim=scale.dim, seed=seed)
+    config = _base_config(scale, seed)
+    index = SPFreshIndex.build(dataset.base, config=config)
+    pool_queries = _queries(dataset, scale, seed)
+
+    # --- goodput scaling on a saturating trace --------------------------
+    saturating = make_arrival_trace(
+        pool_queries,
+        n_requests=scale.serve_requests,
+        mean_rate_qps=scale.serve_saturate_qps,
+        pattern="poisson",
+        tenant_weights=4,
+        seed=seed + 11,
+        name=f"serving-saturate-{scale.name}",
+    )
+
+    def frontend(**overrides) -> ServingFrontend:
+        return ServingFrontend.from_config(
+            index.searcher, config, k=scale.k, nprobe=scale.nprobe, **overrides
+        )
+
+    single = frontend(num_workers=1).run(saturating)
+    pooled = frontend(num_workers=scale.serve_workers).run(saturating)
+    sm = single.metrics()
+    pm = pooled.metrics()
+
+    # --- fairness under a dominant tenant -------------------------------
+    skewed = make_arrival_trace(
+        pool_queries,
+        n_requests=scale.serve_requests,
+        mean_rate_qps=scale.serve_saturate_qps,
+        pattern="bursty",
+        hot_key_skew=0.8,
+        tenant_weights=(8.0, 1.0, 1.0, 1.0),
+        seed=seed + 12,
+        name=f"serving-hotkey-{scale.name}",
+    )
+    fifo = frontend(num_workers=scale.serve_workers, fairness="fifo").run(skewed)
+    dwrr = frontend(num_workers=scale.serve_workers, fairness="dwrr").run(skewed)
+
+    def victim_p99(report) -> float:
+        """Worst answered p99 among tenants other than the heaviest."""
+        per_tenant = report.per_tenant_metrics()
+        if not per_tenant:
+            return 0.0
+        dominant = max(per_tenant, key=lambda t: per_tenant[t]["offered"])
+        return max(
+            (
+                m["e2e_latency_us_p99"]
+                for t, m in per_tenant.items()
+                if t != dominant and m["e2e_latency_us_p99"] > 0.0
+            ),
+            default=0.0,
+        )
+
+    fifo_victim = victim_p99(fifo)
+    dwrr_victim = victim_p99(dwrr)
+
+    # --- wall-clock pool replay of the K-worker batch schedule ----------
+    jobs = batch_jobs(saturating, pooled)
+    serial = serial_replay(index.searcher, jobs, scale.k, scale.nprobe)
+    threaded = ThreadEnginePool(
+        index.searcher, scale.serve_workers, profiler=index.profiler
+    ).run(jobs, scale.k, scale.nprobe)
+    thread_mismatches = count_mismatches(serial, threaded)
+
+    process_mismatches = 0
+    process_wall = 0.0
+    process_workers = 0
+    if fork_available():
+        with ProcessEnginePool(index.searcher, scale.serve_workers) as procs:
+            # Warm second pass: the first fork pays copy-on-write page
+            # faults; the steady state is what the comparison should show.
+            forked = procs.run(jobs, scale.k, scale.nprobe)
+            process_mismatches = count_mismatches(serial, forked)
+            forked = procs.run(jobs, scale.k, scale.nprobe)
+            process_mismatches += count_mismatches(serial, forked)
+            process_wall = forked.wall_s
+            process_workers = scale.serve_workers
+
+    deterministic = {
+        "single_worker_goodput_qps": _round(sm["goodput_qps"]),
+        "pool_goodput_qps": _round(pm["goodput_qps"]),
+        "workers_goodput_speedup": _round(
+            pm["goodput_qps"] / sm["goodput_qps"] if sm["goodput_qps"] else 0.0
+        ),
+        "single_worker_shed_rate": _round(sm["shed_rate"], 4),
+        "pool_shed_rate": _round(pm["shed_rate"], 4),
+        "pool_slo_violation_rate": _round(pm["slo_violation_rate"], 4),
+        "pool_e2e_latency_us_p99": pm["e2e_latency_us_p99"],
+        "single_worker_e2e_latency_us_p99": sm["e2e_latency_us_p99"],
+        "pool_worker_busy_frac_mean": _round(pm["worker_busy_frac_mean"], 4),
+        "pool_worker_busy_frac_min": _round(pm["worker_busy_frac_min"], 4),
+        "pool_batch_size_mean": _round(pm["batch_size_mean"]),
+        "fifo_victim_p99_us": _round(fifo_victim),
+        "dwrr_victim_p99_us": _round(dwrr_victim),
+        "dwrr_fairness_speedup": _round(
+            fifo_victim / dwrr_victim if dwrr_victim > 0 else 0.0
+        ),
+        "fifo_tenant_p99_spread": _round(fifo.tenant_p99_spread(), 4),
+        "dwrr_tenant_p99_spread": _round(dwrr.tenant_p99_spread(), 4),
+        "fifo_shed_rate": _round(fifo.metrics()["shed_rate"], 4),
+        "dwrr_shed_rate": _round(dwrr.metrics()["shed_rate"], 4),
+        "replayed_batches": float(len(jobs)),
+        "pool_parity_mismatches": float(thread_mismatches),
+        "process_parity_mismatches": float(process_mismatches),
+    }
+    wall_clock = {
+        "serial_replay_wall_ms": _round(serial.wall_s * 1e3),
+        "thread_pool_wall_ms": _round(threaded.wall_s * 1e3),
+        "thread_pool_wall_speedup": _round(
+            serial.wall_s / threaded.wall_s if threaded.wall_s > 0 else 0.0
+        ),
+        "process_pool_wall_ms": _round(process_wall * 1e3),
+        "process_pool_wall_speedup": _round(
+            serial.wall_s / process_wall if process_wall > 0 else 0.0
+        ),
+        "process_workers": float(process_workers),
+    }
+    return ScenarioResult(
+        scenario="serving_concurrent",
+        config={
+            **_scenario_config(scale, seed, config),
+            "serve_requests": scale.serve_requests,
+            "serve_saturate_qps": scale.serve_saturate_qps,
+            "serve_workers": scale.serve_workers,
+            "hot_key_skew": 0.8,
+            "tenants": 4,
+            "dominant_tenant_weight": 8.0,
+            "queue_capacity": config.serve_queue_capacity,
+            "max_batch": config.serve_max_batch,
+            "max_wait_us": config.serve_max_wait_us,
+            "slo_us": config.serve_slo_us,
+            "admission_wait_budget_us": config.serve_admission_wait_budget_us,
+        },
+        deterministic=deterministic,
+        wall_clock=wall_clock,
+    )
+
+
 SCENARIOS = {
     "search": scenario_search,
     "update": scenario_update,
@@ -1411,6 +1587,7 @@ SCENARIOS = {
     "cache": scenario_cache,
     "throughput": scenario_throughput,
     "serving": scenario_serving,
+    "serving_concurrent": scenario_serving_concurrent,
 }
 
 

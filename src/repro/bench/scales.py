@@ -53,6 +53,11 @@ class PerfScale:
     recovery_updates: int  # WAL'd updates replayed in the recovery scenario
     serve_requests: int = 2000  # open-loop arrivals in the serving scenario
     serve_rate_qps: float = 6000.0  # mean offered load of the arrival trace
+    serve_workers: int = 4  # pool size in the serving_concurrent scenario
+    # Saturating offered load for the concurrency scenario: deliberately
+    # far above the whole K-worker pool's drain rate so goodput scales
+    # with K (tuned per tier: roughly 10x one worker's drain rate).
+    serve_saturate_qps: float = 120_000.0
     k: int = 10
     nprobe: int = 8
     cluster_shards: int = 4  # shard count in the cluster scenario
@@ -73,6 +78,7 @@ PERF_SCALES = {
         recovery_updates=600,
         serve_requests=6000,
         serve_rate_qps=6000.0,
+        serve_saturate_qps=120_000.0,
     ),
     # Unit-test tier: seconds, still exercises every metric.
     "tiny": PerfScale(
@@ -86,6 +92,7 @@ PERF_SCALES = {
         recovery_updates=80,
         serve_requests=500,
         serve_rate_qps=12000.0,
+        serve_saturate_qps=250_000.0,
     ),
     # Local deep-dive tier (not wired into CI).
     "full": PerfScale(
@@ -99,5 +106,6 @@ PERF_SCALES = {
         recovery_updates=1500,
         serve_requests=20000,
         serve_rate_qps=8000.0,
+        serve_saturate_qps=100_000.0,
     ),
 }

@@ -258,11 +258,14 @@ def cmd_profile(args) -> int:
 def cmd_serve_bench(args) -> int:
     """Drive the open-loop serving front-end and print/report its metrics.
 
-    Builds an index, generates a seeded arrival trace (pattern, rate,
-    hot-key skew, tenants all flags), then serves it twice: through the
-    dynamic batcher and — unless ``--no-baseline`` — unbatched
-    (``max_batch=1``), printing the side-by-side table the CI lane
-    uploads as ``SERVING.md``.
+    Builds the requested engine backend (``--backend single`` is a bare
+    searcher, ``sharded``/``cluster`` the distributed facades), generates
+    a seeded arrival trace (pattern, rate, hot-key skew, tenants all
+    flags), then serves it twice: through the dynamic batcher at
+    ``--workers``/``--fairness`` and — unless ``--no-baseline`` —
+    unbatched (``max_batch=1``), printing the side-by-side table the CI
+    lane uploads as ``SERVING.md``. With ``--workers > 1`` a
+    goodput-vs-workers table sweeps the pool size from 1 to the flag.
     """
     from repro.bench.reporting import format_markdown_table
     from repro.datasets import make_arrival_trace
@@ -277,86 +280,149 @@ def cmd_serve_bench(args) -> int:
         serve_max_wait_us=args.max_wait_us,
         serve_slo_us=args.slo_us,
         serve_queue_capacity=args.queue_capacity,
+        serve_num_workers=args.workers,
+        serve_fairness=args.fairness,
+        serve_tenant_quota_fraction=args.tenant_quota,
     ).validate()
-    index = SPFreshIndex.build(dataset.base, config=config)
-    rng = np.random.default_rng(args.seed + 1)
-    pool = (
-        dataset.base[rng.integers(0, args.base, size=max(args.queries, 1))]
-        + rng.normal(scale=0.05, size=(max(args.queries, 1), args.dim))
-    ).astype(np.float32)
-    trace = make_arrival_trace(
-        pool,
-        n_requests=args.requests,
-        mean_rate_qps=args.rate_qps,
-        pattern=args.pattern,
-        hot_key_skew=args.hot_key_skew,
-        tenant_weights=args.tenants if args.tenants > 1 else None,
-        seed=args.seed + 5,
-    )
-    runs = [
-        (
-            "batched",
-            ServingFrontend.from_config(index.searcher, config, k=10),
+    engine, closer = _serve_engine(args, dataset, config)
+    try:
+        rng = np.random.default_rng(args.seed + 1)
+        pool = (
+            dataset.base[rng.integers(0, args.base, size=max(args.queries, 1))]
+            + rng.normal(scale=0.05, size=(max(args.queries, 1), args.dim))
+        ).astype(np.float32)
+        trace = make_arrival_trace(
+            pool,
+            n_requests=args.requests,
+            mean_rate_qps=args.rate_qps,
+            pattern=args.pattern,
+            hot_key_skew=args.hot_key_skew,
+            tenant_weights=args.tenants if args.tenants > 1 else None,
+            seed=args.seed + 5,
         )
-    ]
-    if not args.no_baseline:
-        runs.append(
+        runs = [
             (
-                "unbatched",
-                ServingFrontend.from_config(
-                    index.searcher, config, k=10, max_batch=1, max_wait_us=0.0
-                ),
+                "batched",
+                ServingFrontend.from_config(engine, config, k=10),
             )
-        )
-    headline = (
-        "goodput_qps",
-        "answered_qps",
-        "e2e_latency_us_p50",
-        "e2e_latency_us_p99",
-        "e2e_latency_us_p99.9",
-        "slo_violation_rate",
-        "shed_rate",
-        "batch_size_mean",
-        "queue_wait_us_mean",
-        "assembly_wait_us_mean",
-        "engine_us_mean",
-    )
-    rows = []
-    tenant_rows = []
-    for label, frontend in runs:
-        report = frontend.run(trace)
-        metrics = report.metrics()
-        rows.append([label] + [f"{metrics[k]:.3f}" for k in headline])
-        for tenant, tm in report.per_tenant_metrics().items():
-            tenant_rows.append(
+        ]
+        if not args.no_baseline:
+            runs.append(
                 (
-                    label,
-                    tenant,
-                    int(tm["offered"]),
-                    f"{tm['shed_rate']:.3f}",
-                    f"{tm['e2e_latency_us_p99']:.0f}",
+                    "unbatched",
+                    ServingFrontend.from_config(
+                        engine, config, k=10, max_batch=1, max_wait_us=0.0
+                    ),
                 )
             )
-    table = format_markdown_table(
-        ["mode", *headline],
-        rows,
-        title=(
-            f"serving: {trace.name} — {len(trace)} requests, "
-            f"{trace.offered_qps:.0f} offered qps, SLO {config.serve_slo_us:g} us"
-        ),
-    )
-    tenant_table = format_markdown_table(
-        ["mode", "tenant", "offered", "shed_rate", "e2e_p99_us"],
-        tenant_rows,
-        title="per-tenant breakdown",
-    )
-    output = table + "\n\n" + tenant_table
-    print(output)
-    if args.report:
-        with open(args.report, "w") as fh:
-            fh.write(output + "\n")
-        print(f"\nwrote {args.report}")
+        headline = (
+            "goodput_qps",
+            "answered_qps",
+            "e2e_latency_us_p50",
+            "e2e_latency_us_p99",
+            "e2e_latency_us_p99.9",
+            "slo_violation_rate",
+            "shed_rate",
+            "batch_size_mean",
+            "queue_wait_us_mean",
+            "assembly_wait_us_mean",
+            "engine_us_mean",
+        )
+        rows = []
+        tenant_rows = []
+        for label, frontend in runs:
+            report = frontend.run(trace)
+            metrics = report.metrics()
+            rows.append(
+                [label, str(frontend.num_workers), frontend.fairness]
+                + [f"{metrics[k]:.3f}" for k in headline]
+            )
+            for tenant, tm in report.per_tenant_metrics().items():
+                tenant_rows.append(
+                    (
+                        label,
+                        tenant,
+                        int(tm["offered"]),
+                        f"{tm['shed_rate']:.3f}",
+                        f"{tm['e2e_latency_us_p99']:.0f}",
+                    )
+                )
+        table = format_markdown_table(
+            ["mode", "workers", "fairness", *headline],
+            rows,
+            title=(
+                f"serving: {trace.name} — {len(trace)} requests, "
+                f"{trace.offered_qps:.0f} offered qps, SLO "
+                f"{config.serve_slo_us:g} us, backend {args.backend}"
+            ),
+        )
+        tenant_table = format_markdown_table(
+            ["mode", "tenant", "offered", "shed_rate", "e2e_p99_us"],
+            tenant_rows,
+            title="per-tenant breakdown",
+        )
+        output = table + "\n\n" + tenant_table
+        if args.workers > 1:
+            sweep_rows = []
+            base_goodput = None
+            for workers in _worker_sweep(args.workers):
+                sweep = ServingFrontend.from_config(
+                    engine, config, k=10, num_workers=workers
+                ).run(trace)
+                sm = sweep.metrics()
+                if base_goodput is None:
+                    base_goodput = sm["goodput_qps"] or 1.0
+                sweep_rows.append(
+                    (
+                        workers,
+                        f"{sm['goodput_qps']:.1f}",
+                        f"{sm['goodput_qps'] / base_goodput:.2f}x",
+                        f"{sm['shed_rate']:.3f}",
+                        f"{sm['e2e_latency_us_p99']:.0f}",
+                    )
+                )
+            output += "\n\n" + format_markdown_table(
+                ["workers", "goodput_qps", "speedup", "shed_rate", "e2e_p99_us"],
+                sweep_rows,
+                title="goodput vs workers (simulated K-worker pool)",
+            )
+        print(output)
+        if args.report:
+            with open(args.report, "w") as fh:
+                fh.write(output + "\n")
+            print(f"\nwrote {args.report}")
+    finally:
+        closer()
     return 0
+
+
+def _worker_sweep(max_workers: int) -> list[int]:
+    """1, 2, 4, ... doubling up to (and always including) ``max_workers``."""
+    ks = [1]
+    while ks[-1] * 2 < max_workers:
+        ks.append(ks[-1] * 2)
+    ks.append(max_workers)
+    return ks
+
+
+def _serve_engine(args, dataset, config):
+    """Build the serve-bench engine for ``--backend``; returns (engine, close)."""
+    if args.backend == "single":
+        index = SPFreshIndex.build(dataset.base, config=config)
+        return index.searcher, lambda: None
+    if args.backend == "sharded":
+        from repro.distributed import ShardedSPFresh
+
+        sharded = ShardedSPFresh.build(
+            dataset.base, num_shards=args.shards, config=config
+        )
+        return sharded, sharded.close
+    from repro.distributed import ClusterSPFresh
+
+    cluster = ClusterSPFresh.build(
+        dataset.base, num_shards=args.shards, config=config
+    )
+    return cluster, cluster.close
 
 
 def cmd_cluster(args) -> int:
@@ -581,6 +647,26 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--max-wait-us", type=float, default=1500.0)
     serve.add_argument("--slo-us", type=float, default=15000.0)
     serve.add_argument("--queue-capacity", type=int, default=256)
+    serve.add_argument(
+        "--workers", type=int, default=1,
+        help="simulated engine-pool size; >1 adds a goodput-vs-workers table",
+    )
+    serve.add_argument(
+        "--fairness", choices=("fifo", "dwrr"), default="fifo",
+        help="batch-seat scheduling across tenants",
+    )
+    serve.add_argument(
+        "--tenant-quota", type=float, default=None,
+        help="max fraction of the queue one tenant may occupy (0, 1]",
+    )
+    serve.add_argument(
+        "--backend", choices=("single", "sharded", "cluster"), default="single",
+        help="engine under the frontend: bare searcher or a distributed facade",
+    )
+    serve.add_argument(
+        "--shards", type=int, default=4,
+        help="shard count for the sharded/cluster backends",
+    )
     serve.add_argument(
         "--no-baseline",
         action="store_true",

@@ -32,6 +32,19 @@ class ServingConfig:
     # Admission sheds when the modelled queue wait exceeds this budget
     # (None disables wait-based shedding; the depth bound still applies).
     admission_wait_budget_us: float | None = 30_000.0
+    # Concurrent engine workers on the simulated clock (K-worker pool;
+    # 1 reproduces the historical serial-executor model bit-for-bit).
+    num_workers: int = 1
+    # Batch-seat scheduling across tenants: "fifo" (arrival order) or
+    # "dwrr" (deficit-weighted round robin — a bursty tenant cannot
+    # monopolize batch seats).
+    fairness: str = "fifo"
+    # Per-tenant DWRR weights, indexed by tenant id; tenants beyond the
+    # sequence (or with weights None) get weight 1.0.
+    tenant_weights: tuple | None = None
+    # One tenant may occupy at most this fraction of the queue; arrivals
+    # beyond it shed with reason "tenant_quota" (None disables).
+    tenant_quota_fraction: float | None = None
 
     def __post_init__(self) -> None:
         self.validate()
@@ -52,6 +65,27 @@ class ServingConfig:
             raise ConfigError(
                 "serve_admission_wait_budget_us must be positive or None"
             )
+        if self.num_workers < 1:
+            raise ConfigError("serve_num_workers must be at least 1")
+        if self.fairness not in ("fifo", "dwrr"):
+            raise ConfigError(
+                f"unknown serve_fairness {self.fairness!r} "
+                f"(choose 'fifo' or 'dwrr')"
+            )
+        if self.tenant_weights is not None:
+            weights = tuple(self.tenant_weights)
+            if not weights or any(w <= 0 for w in weights):
+                raise ConfigError(
+                    "serve_tenant_weights must be a non-empty sequence of "
+                    "positive weights (or None for equal shares)"
+                )
+            self.tenant_weights = weights
+        if self.tenant_quota_fraction is not None and not (
+            0.0 < self.tenant_quota_fraction <= 1.0
+        ):
+            raise ConfigError(
+                "serve_tenant_quota_fraction must be in (0, 1] or None"
+            )
         return self
 
 
@@ -69,6 +103,11 @@ class FreshTierConfig:
     enabled: bool = False
     flush_threshold: int = 128  # buffered vectors that trigger a flush
     insert_cpu_us: float = 2.0  # modelled cost of a tier insert
+    # Age-based flush trigger: flush when the oldest buffered insert has
+    # been sitting for this many foreground ops (inserts + deletes),
+    # even if the size threshold was never reached — so a trickle of
+    # inserts cannot stay unflushed forever. None disables (size only).
+    max_age_ops: int | None = None
 
     def __post_init__(self) -> None:
         self.validate()
@@ -78,6 +117,8 @@ class FreshTierConfig:
             raise ConfigError("fresh_flush_threshold must be at least 1")
         if self.insert_cpu_us < 0:
             raise ConfigError("fresh_insert_cpu_us must be non-negative")
+        if self.max_age_ops is not None and self.max_age_ops < 1:
+            raise ConfigError("fresh_max_age_ops must be >= 1 or None")
         return self
 
 
@@ -174,9 +215,14 @@ _FLAT_ALIASES: dict[str, tuple[str, str]] = {
     "serve_max_wait_us": ("serving", "max_wait_us"),
     "serve_slo_us": ("serving", "slo_us"),
     "serve_admission_wait_budget_us": ("serving", "admission_wait_budget_us"),
+    "serve_num_workers": ("serving", "num_workers"),
+    "serve_fairness": ("serving", "fairness"),
+    "serve_tenant_weights": ("serving", "tenant_weights"),
+    "serve_tenant_quota_fraction": ("serving", "tenant_quota_fraction"),
     "enable_fresh_tier": ("fresh_tier", "enabled"),
     "fresh_flush_threshold": ("fresh_tier", "flush_threshold"),
     "fresh_insert_cpu_us": ("fresh_tier", "insert_cpu_us"),
+    "fresh_max_age_ops": ("fresh_tier", "max_age_ops"),
     "quant_enabled": ("quantize", "enabled"),
     "quant_kind": ("quantize", "kind"),
     "quant_subspaces": ("quantize", "pq_subspaces"),

@@ -55,6 +55,9 @@ class Updater:
         self.wal = wal
         self.profiler = profiler or NULL_PROFILER
         self.fresh_tier = fresh_tier
+        # Foreground ops since the current fresh-tier batch started
+        # buffering; drives the age-based flush trigger.
+        self._fresh_age_ops = 0
 
     # ------------------------------------------------------------------
     def insert(self, vector_id: int, vector: np.ndarray, log: bool = True) -> float:
@@ -114,9 +117,30 @@ class Updater:
             self.fresh_tier.add(vector_id, vector, version)
             self.stats.incr("inserts")
             self.stats.incr("fresh_inserts")
+            if len(self.fresh_tier) == 1:
+                # A new batch starts buffering: restart its age clock.
+                self._fresh_age_ops = 0
             if len(self.fresh_tier) >= self.config.fresh_flush_threshold:
                 self.job_queue.put(FlushJob())
+                self._fresh_age_ops = 0
+            else:
+                self._age_fresh_tier()
             return self.config.fresh_insert_cpu_us
+
+    def _age_fresh_tier(self) -> None:
+        """Charge one foreground op against the buffered batch's age.
+
+        With ``fresh_max_age_ops`` set, a batch that has been sitting
+        through that many ops flushes even if it never reaches the size
+        threshold — a trickle of inserts cannot stay buffered forever.
+        """
+        if self.fresh_tier is None or not len(self.fresh_tier):
+            return
+        self._fresh_age_ops += 1
+        max_age = self.config.fresh_max_age_ops
+        if max_age is not None and self._fresh_age_ops >= max_age:
+            self.job_queue.put(FlushJob())
+            self._fresh_age_ops = 0
 
     def delete(self, vector_id: int, log: bool = True) -> float:
         """Tombstone a vector; actual removal happens lazily during GC."""
@@ -129,6 +153,8 @@ class Updater:
             # any disk-resident duplicates of the same id.
             if self.fresh_tier is not None and self.fresh_tier.discard(vector_id):
                 self.stats.incr("fresh_discards")
+            # Deletes age any still-buffered batch toward its flush.
+            self._age_fresh_tier()
             # Tombstones touch only the in-memory map: negligible latency.
             return 1.0
 

@@ -196,8 +196,8 @@ def make_arrival_trace(
     queries = np.ascontiguousarray(queries, dtype=np.float32)
     if queries.ndim != 2 or len(queries) == 0:
         raise ValueError("queries must be a non-empty (pool, dim) matrix")
-    if n_requests < 1:
-        raise ValueError("n_requests must be positive")
+    if n_requests < 0:
+        raise ValueError("n_requests must be non-negative")
     if mean_rate_qps <= 0:
         raise ValueError("mean_rate_qps must be positive")
     if hot_key_skew < 0:

@@ -14,7 +14,10 @@ optimizes. This module measures the second clock with near-zero overhead:
 * Stages are free-form strings; the engine uses ``navigate`` (centroid
   index), ``io`` (device reads/writes), ``decode`` (posting codec),
   ``scan`` (distance kernels), ``topk`` (dedup + selection), ``update``
-  (foreground updater) and ``maintenance`` (LIRE rebuild jobs).
+  (foreground updater) and ``maintenance`` (LIRE rebuild jobs). The
+  serving engine pools add ``serve_worker<i>`` (one stage per wall-clock
+  pool worker, so skew across workers is visible) and
+  ``serve_replay_serial`` (the parity baseline replay).
 * ``snapshot()`` returns plain dicts for JSON emission; ``format_report``
   renders the human table the ``python -m repro profile`` subcommand and
   the CI artifact use.
@@ -151,14 +154,14 @@ def format_report(snapshot: dict[str, dict], title: str = "wall-clock profile") 
     total = sum(s["total_us"] for s in snapshot.values()) or 1.0
     lines = [
         title,
-        f"| {'stage':<12} | {'calls':>9} | {'total ms':>10} | "
+        f"| {'stage':<20} | {'calls':>9} | {'total ms':>10} | "
         f"{'mean us':>9} | {'max us':>9} | {'share':>6} |",
-        "|" + "-" * 14 + "|" + "-" * 11 + "|" + "-" * 12 + "|"
+        "|" + "-" * 22 + "|" + "-" * 11 + "|" + "-" * 12 + "|"
         + "-" * 11 + "|" + "-" * 11 + "|" + "-" * 8 + "|",
     ]
     for stage, stats in snapshot.items():
         lines.append(
-            f"| {stage:<12} | {stats['calls']:>9} | "
+            f"| {stage:<20} | {stats['calls']:>9} | "
             f"{stats['total_us'] / 1000.0:>10.2f} | {stats['mean_us']:>9.1f} | "
             f"{stats['max_us']:>9.1f} | {stats['total_us'] / total:>6.1%} |"
         )

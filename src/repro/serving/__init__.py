@@ -9,12 +9,27 @@ engine time) on the simulated clock — so goodput, tail latency, SLO
 violations, and shed rates are byte-deterministic under a fixed seed
 and gate CI like every other simulated metric.
 
+The engine side is a K-worker pool on both clocks: simulated (the
+frontend's per-worker busy-until horizons — deterministic, gated) and
+wall (``engine_pool``'s thread/forked-process pools — informational,
+parity-checked against serial replay). Batch seats are assigned FIFO or
+by deficit-weighted round robin across tenants (``DwrrBatcher``).
+
 See ``docs/serving.md`` for the model and knobs.
 """
 
 from repro.serving.admission import AdmissionController, AdmissionDecision
-from repro.serving.batcher import DynamicBatcher
+from repro.serving.batcher import DwrrBatcher, DynamicBatcher
+from repro.serving.engine_pool import (
+    ProcessEnginePool,
+    ReplayResult,
+    ThreadEnginePool,
+    batch_jobs,
+    count_mismatches,
+    serial_replay,
+)
 from repro.serving.frontend import (
+    BatchRecord,
     RequestOutcome,
     ServingFrontend,
     ServingReport,
@@ -23,8 +38,16 @@ from repro.serving.frontend import (
 __all__ = [
     "AdmissionController",
     "AdmissionDecision",
+    "BatchRecord",
+    "DwrrBatcher",
     "DynamicBatcher",
+    "ProcessEnginePool",
+    "ReplayResult",
     "RequestOutcome",
     "ServingFrontend",
     "ServingReport",
+    "ThreadEnginePool",
+    "batch_jobs",
+    "count_mismatches",
+    "serial_replay",
 ]

@@ -8,15 +8,20 @@ queue can absorb are rejected at arrival with a ``retry_after_us``
 signal, which costs nearly nothing, instead of timing out after
 consuming queue space and batch slots.
 
-Two independent shed conditions, both checked at arrival time:
+Three independent shed conditions, all checked at arrival time:
 
 * **depth** — the bounded queue is full (``queue_capacity``);
+* **tenant quota** — the arriving tenant already occupies its share of
+  the queue (``tenant_quota_fraction`` × capacity); one bursty tenant
+  cannot fill the whole queue and starve admission for everyone else
+  (disabled when the fraction is ``None``);
 * **modelled wait** — the predicted time until this request would
   *start* service exceeds ``wait_budget_us``. The prediction uses the
-  engine-busy horizon plus the number of whole batches queued ahead,
-  priced at an EWMA of recent batch service times — the same two-clock
-  discipline the rest of the repo uses (modelled, deterministic, never
-  wall clock).
+  earliest-free-worker horizon plus the number of whole batches queued
+  ahead, priced at an EWMA of recent batch service times divided by the
+  worker count (``num_workers`` batches drain concurrently) — the same
+  two-clock discipline the rest of the repo uses (modelled,
+  deterministic, never wall clock).
 """
 
 from __future__ import annotations
@@ -31,11 +36,11 @@ class AdmissionDecision:
     admitted: bool
     modelled_wait_us: float
     retry_after_us: float = 0.0  # > 0 only when shed
-    reason: str = ""  # "", "queue_full", "wait_budget"
+    reason: str = ""  # "", "queue_full", "tenant_quota", "wait_budget"
 
 
 class AdmissionController:
-    """Depth- and wait-bounded admission in front of the request queue."""
+    """Depth-, quota- and wait-bounded admission in front of the queue."""
 
     def __init__(
         self,
@@ -44,6 +49,8 @@ class AdmissionController:
         max_batch: int,
         initial_batch_service_us: float = 500.0,
         ewma_alpha: float = 0.2,
+        num_workers: int = 1,
+        tenant_quota_fraction: float | None = None,
     ) -> None:
         if queue_capacity < 1:
             raise ValueError("queue_capacity must be at least 1")
@@ -53,13 +60,29 @@ class AdmissionController:
             raise ValueError("wait_budget_us must be positive or None")
         if not 0.0 < ewma_alpha <= 1.0:
             raise ValueError("ewma_alpha must be in (0, 1]")
+        if num_workers < 1:
+            raise ValueError("num_workers must be at least 1")
+        if tenant_quota_fraction is not None and not (
+            0.0 < tenant_quota_fraction <= 1.0
+        ):
+            raise ValueError("tenant_quota_fraction must be in (0, 1] or None")
         self.queue_capacity = queue_capacity
         self.wait_budget_us = wait_budget_us
         self.max_batch = max_batch
         self.ewma_alpha = ewma_alpha
+        self.num_workers = num_workers
+        self.tenant_quota_fraction = tenant_quota_fraction
+        # A tenant may hold at most this many queue slots (always >= 1,
+        # so a lone tenant on an empty queue is never quota-shed).
+        self.tenant_quota = (
+            None
+            if tenant_quota_fraction is None
+            else max(1, int(tenant_quota_fraction * queue_capacity))
+        )
         self._batch_service_us = float(initial_batch_service_us)
         self.admitted = 0
         self.shed_queue_full = 0
+        self.shed_tenant_quota = 0
         self.shed_wait_budget = 0
 
     # ------------------------------------------------------------------
@@ -79,17 +102,28 @@ class AdmissionController:
     ) -> float:
         """Predicted queue wait for a request arriving now.
 
-        Time until the engine frees up, plus one EWMA-priced batch per
-        full ``max_batch`` of requests already queued ahead of it.
+        Time until the *earliest* worker frees up, plus one EWMA-priced
+        batch per full ``max_batch`` of requests already queued ahead —
+        divided by the worker count, since ``num_workers`` batches drain
+        concurrently. At ``num_workers=1`` this reproduces the historical
+        serial-executor model exactly.
         """
         busy = max(0.0, engine_free_at_us - now_us)
         batches_ahead = queue_depth // self.max_batch
-        return busy + batches_ahead * self._batch_service_us
+        return busy + batches_ahead * self._batch_service_us / self.num_workers
 
     def admit(
-        self, now_us: float, queue_depth: int, engine_free_at_us: float
+        self,
+        now_us: float,
+        queue_depth: int,
+        engine_free_at_us: float,
+        tenant_depth: int = 0,
     ) -> AdmissionDecision:
-        """Admit or shed one arrival given the queue/engine state."""
+        """Admit or shed one arrival given the queue/engine state.
+
+        ``tenant_depth`` is how many queue slots the arriving tenant
+        already holds; it only matters when a quota is configured.
+        """
         wait = self.modelled_wait_us(now_us, queue_depth, engine_free_at_us)
         if queue_depth >= self.queue_capacity:
             self.shed_queue_full += 1
@@ -100,6 +134,15 @@ class AdmissionController:
                 # after the modelled wait, one batch's worth drains.
                 retry_after_us=max(wait, self._batch_service_us),
                 reason="queue_full",
+            )
+        if self.tenant_quota is not None and tenant_depth >= self.tenant_quota:
+            self.shed_tenant_quota += 1
+            return AdmissionDecision(
+                admitted=False,
+                modelled_wait_us=wait,
+                # The tenant's own backlog must drain a batch seat first.
+                retry_after_us=max(wait, self._batch_service_us),
+                reason="tenant_quota",
             )
         if self.wait_budget_us is not None and wait > self.wait_budget_us:
             self.shed_wait_budget += 1

@@ -21,6 +21,17 @@ reports *when* the next batch is ready and *which* requests form it.
 The frontend's event loop owns time; keeping the policy side-effect
 free is what makes the simulation deterministic and the policy unit-
 testable.
+
+:class:`DwrrBatcher` adds per-tenant fairness on top: batch *timing* is
+identical (the two triggers observe the same arrival-ordered queue),
+but batch *seats* are assigned by deficit-weighted round robin across
+tenants instead of pure arrival order. When demand exceeds the batch
+size, a bursty tenant is limited to roughly its weight share of the
+seats per batch, so light tenants keep dispatching at their own pace
+instead of queueing behind the burst. Deficit counters carry over
+between batches (long-run weighted shares hold even when per-batch
+shares round unevenly) and reset when a tenant's queue drains (no
+banking credit while idle — the standard DWRR rule).
 """
 
 from __future__ import annotations
@@ -58,3 +69,104 @@ class DynamicBatcher:
         """Pop the next batch (oldest ``max_batch`` requests) off the queue."""
         n = min(self.max_batch, len(queue))
         return [queue.popleft() for _ in range(n)]
+
+
+class DwrrBatcher(DynamicBatcher):
+    """Deficit-weighted round-robin seat assignment across tenants.
+
+    Timing triggers are inherited unchanged from :class:`DynamicBatcher`
+    (given the same queued requests, a batch is ready at the same instant
+    it would be under FIFO; with a single tenant the policies coincide
+    exactly); only *which* queued requests fill the seats differs. Each request costs
+    one deficit unit; every DWRR round credits each backlogged tenant
+    its weight, and a tenant spends accumulated deficit on seats oldest-
+    request-first. Within a batch all seats complete together, so the
+    visit order inside a round carries no latency meaning — tenants are
+    visited in sorted id order, which keeps the policy deterministic.
+    """
+
+    def __init__(
+        self,
+        max_batch: int,
+        max_wait_us: float,
+        tenant_weights=None,
+    ) -> None:
+        super().__init__(max_batch=max_batch, max_wait_us=max_wait_us)
+        if tenant_weights is not None:
+            tenant_weights = tuple(float(w) for w in tenant_weights)
+            if not tenant_weights or any(w <= 0 for w in tenant_weights):
+                raise ValueError(
+                    "tenant_weights must be a non-empty sequence of "
+                    "positive weights (or None for equal shares)"
+                )
+        self.tenant_weights = tenant_weights
+        self._deficit: dict[int, float] = {}
+
+    def weight_of(self, tenant: int) -> float:
+        """Tenant's DWRR weight (1.0 beyond the configured sequence)."""
+        if self.tenant_weights is None or tenant >= len(self.tenant_weights):
+            return 1.0
+        return self.tenant_weights[tenant]
+
+    def take(self, queue: deque) -> list:
+        """Assign up to ``max_batch`` seats by DWRR; pop them off the queue."""
+        seats = min(self.max_batch, len(queue))
+        if seats == len(queue):
+            # Everything queued fits: identical to FIFO, and the cheap
+            # common case. Every backlog drains, so no tenant banks
+            # credit across the batch.
+            batch = [queue.popleft() for _ in range(seats)]
+            self._deficit.clear()
+            return batch
+        by_tenant: dict[int, deque] = {}
+        for request in queue:
+            by_tenant.setdefault(request.tenant, deque()).append(request)
+        active = sorted(by_tenant)
+        # Idle tenants (nothing queued) hold no credit across batches.
+        self._reset_drained(
+            [tenant for tenant in self._deficit if tenant not in by_tenant]
+        )
+        chosen: list = []
+        while len(chosen) < seats:
+            took_any = False
+            for tenant in active:
+                pending = by_tenant[tenant]
+                if not pending:
+                    continue
+                credit = self._deficit.get(tenant, 0.0) + self.weight_of(tenant)
+                while credit >= 1.0 and pending and len(chosen) < seats:
+                    chosen.append(pending.popleft())
+                    credit -= 1.0
+                    took_any = True
+                self._deficit[tenant] = credit
+            if not took_any:
+                # All weights are far below 1: fast-forward the rounds
+                # the closest tenant still needs for a whole seat, so
+                # extreme weights cost O(1) instead of O(1/weight).
+                rounds = min(
+                    math.ceil(
+                        (1.0 - self._deficit.get(tenant, 0.0))
+                        / self.weight_of(tenant)
+                    )
+                    for tenant in active
+                    if by_tenant[tenant]
+                )
+                for tenant in active:
+                    if by_tenant[tenant]:
+                        self._deficit[tenant] = self._deficit.get(
+                            tenant, 0.0
+                        ) + rounds * self.weight_of(tenant)
+        # A tenant whose backlog drained gives up its leftover credit.
+        self._reset_drained(
+            tenant for tenant, pending in by_tenant.items() if not pending
+        )
+        taken = {id(request) for request in chosen}
+        remaining = [r for r in queue if id(r) not in taken]
+        queue.clear()
+        queue.extend(remaining)
+        chosen.sort(key=lambda r: r.index)
+        return chosen
+
+    def _reset_drained(self, tenants) -> None:
+        for tenant in tenants:
+            self._deficit.pop(tenant, None)

@@ -9,8 +9,12 @@ which is what lets serving tail latency gate CI next to the engine's
 simulated metrics (the repo's two-clock model; see
 ``docs/performance.md``).
 
-The engine model is a single serial executor: one batch occupies the
-engine for its full service time
+The engine model is a pool of ``num_workers`` independent executors
+(the K-worker pool; ``num_workers=1`` reproduces the historical serial
+executor bit-for-bit). Each worker is one simulated resource with its
+own busy-until horizon; a ready batch dispatches to the earliest-free
+worker (lowest index on ties) and occupies it for the batch's full
+service time
 
     service = shared batch IO + sum of per-query CPU terms
 
@@ -25,6 +29,14 @@ latency decomposes exactly as
 so regressions attribute to the right layer: a queue-wait regression is
 a capacity problem, an assembly-wait regression a batcher-tuning
 problem, an engine regression belongs to the index.
+
+Fairness: with ``fairness="dwrr"`` batch seats are assigned by
+deficit-weighted round robin across tenants (see
+:class:`~repro.serving.batcher.DwrrBatcher`) so a bursty tenant cannot
+monopolize dispatch; ``tenant_quota_fraction`` additionally bounds any
+one tenant's share of the queue at admission. Wall-clock execution of
+the same batches on real threads/processes lives in
+``repro.serving.engine_pool`` — informational only, never gated.
 """
 
 from __future__ import annotations
@@ -40,7 +52,7 @@ from repro.api import QueryRequest
 from repro.datasets.arrival import ArrivalTrace
 from repro.metrics.latency import percentile_metrics
 from repro.serving.admission import AdmissionController
-from repro.serving.batcher import DynamicBatcher
+from repro.serving.batcher import DwrrBatcher, DynamicBatcher
 
 
 @dataclass
@@ -78,6 +90,10 @@ class BatchRecord:
     size: int
     io_us: float
     service_us: float
+    worker: int = 0  # which pool worker served it
+    # Trace query rows the batch answered, in seat order — enough to
+    # replay the exact batch composition on a wall-clock pool.
+    query_rows: list[int] = field(default_factory=list)
 
 
 @dataclass
@@ -91,6 +107,8 @@ class ServingReport:
     wall_s: float = 0.0
     shed_queue_full: int = 0
     shed_wait_budget: int = 0
+    shed_tenant_quota: int = 0
+    num_workers: int = 1
 
     # ------------------------------------------------------------------
     @property
@@ -125,6 +143,8 @@ class ServingReport:
             "shed_rate": n_shed / offered if offered else 0.0,
             "shed_queue_full": float(self.shed_queue_full),
             "shed_wait_budget": float(self.shed_wait_budget),
+            "shed_tenant_quota": float(self.shed_tenant_quota),
+            "num_workers": float(self.num_workers),
             "slo_violation_rate": (
                 (len(answered) - within_slo) / len(answered) if answered else 0.0
             ),
@@ -160,7 +180,38 @@ class ServingReport:
                 else 0.0
             ),
         }
+        busy = self.worker_busy_us()
+        span = self.makespan_us
+        out["worker_busy_frac_mean"] = (
+            float(np.mean(busy)) / span if span > 0 else 0.0
+        )
+        out["worker_busy_frac_max"] = max(busy) / span if span > 0 else 0.0
+        out["worker_busy_frac_min"] = min(busy) / span if span > 0 else 0.0
         return out
+
+    def worker_busy_us(self) -> list[float]:
+        """Total simulated service time charged to each pool worker."""
+        busy = [0.0] * self.num_workers
+        for b in self.batches:
+            busy[b.worker] += b.service_us
+        return busy
+
+    def tenant_p99_spread(self) -> float:
+        """Max/min ratio of per-tenant answered p99 e2e latency.
+
+        1.0 means every tenant sees the same tail; large values mean some
+        tenant's tail is inflated relative to the luckiest tenant. Only
+        tenants with at least one answered request participate; fewer
+        than two such tenants (or a zero minimum) yield 1.0.
+        """
+        p99s = [
+            m["e2e_latency_us_p99"]
+            for m in self.per_tenant_metrics().values()
+            if m["e2e_latency_us_p99"] > 0.0
+        ]
+        if len(p99s) < 2:
+            return 1.0
+        return max(p99s) / min(p99s)
 
     def per_tenant_metrics(self) -> dict[int, dict[str, float]]:
         """Offered/answered/shed counts and p99 e2e per tenant."""
@@ -201,10 +252,20 @@ class ServingFrontend:
         max_wait_us: float = 1500.0,
         slo_us: float = 15_000.0,
         admission_wait_budget_us: float | None = 30_000.0,
+        num_workers: int = 1,
+        fairness: str = "fifo",
+        tenant_weights=None,
+        tenant_quota_fraction: float | None = None,
         keep_results: bool = False,
     ) -> None:
         if slo_us <= 0:
             raise ValueError("slo_us must be positive")
+        if num_workers < 1:
+            raise ValueError("num_workers must be at least 1")
+        if fairness not in ("fifo", "dwrr"):
+            raise ValueError(
+                f"unknown fairness {fairness!r} (choose 'fifo' or 'dwrr')"
+            )
         # Typed-API engines (SPFreshIndex, ShardedSPFresh) take a
         # QueryRequest through ``query``; bare searcher-level engines
         # (SpannSearcher) keep their internal positional signature.
@@ -228,12 +289,25 @@ class ServingFrontend:
         self.rerank_k = rerank_k
         self.quantized = quantized
         self.slo_us = slo_us
+        self.num_workers = num_workers
+        self.fairness = fairness
         self.keep_results = keep_results
-        self.batcher = DynamicBatcher(max_batch=max_batch, max_wait_us=max_wait_us)
+        if fairness == "dwrr":
+            self.batcher: DynamicBatcher = DwrrBatcher(
+                max_batch=max_batch,
+                max_wait_us=max_wait_us,
+                tenant_weights=tenant_weights,
+            )
+        else:
+            self.batcher = DynamicBatcher(
+                max_batch=max_batch, max_wait_us=max_wait_us
+            )
         self.admission = AdmissionController(
             queue_capacity=queue_capacity,
             wait_budget_us=admission_wait_budget_us,
             max_batch=max_batch,
+            num_workers=num_workers,
+            tenant_quota_fraction=tenant_quota_fraction,
         )
 
     @classmethod
@@ -248,6 +322,10 @@ class ServingFrontend:
             max_wait_us=serving.max_wait_us,
             slo_us=serving.slo_us,
             admission_wait_budget_us=serving.admission_wait_budget_us,
+            num_workers=serving.num_workers,
+            fairness=serving.fairness,
+            tenant_weights=serving.tenant_weights,
+            tenant_quota_fraction=serving.tenant_quota_fraction,
         )
         kwargs.update(overrides)
         return cls(engine, k=k, nprobe=nprobe, **kwargs)
@@ -279,35 +357,49 @@ class ServingFrontend:
         queue: deque[RequestOutcome] = deque()
         outcomes: list[RequestOutcome] = []
         batches: list[BatchRecord] = []
-        engine_free_at = 0.0
+        # One busy-until horizon per pool worker; a batch dispatches when
+        # both the batcher says it is ready and some worker is free.
+        workers = [0.0] * self.num_workers
+        queued_by_tenant: dict[int, int] = {}
         i = 0
         while i < n or queue:
             ready = self.batcher.ready_at(queue)
-            dispatch_at = max(ready, engine_free_at)
+            earliest_free = min(workers)
+            dispatch_at = max(ready, earliest_free)
             next_arrival = arrivals[i] if i < n else math.inf
             if next_arrival < dispatch_at:
+                tenant = int(trace.tenant[i])
                 outcome = RequestOutcome(
                     index=i,
-                    tenant=int(trace.tenant[i]),
+                    tenant=tenant,
                     arrival_us=float(next_arrival),
                     query_index=int(trace.query_index[i]),
                 )
                 outcomes.append(outcome)
                 decision = self.admission.admit(
-                    float(next_arrival), len(queue), engine_free_at
+                    float(next_arrival),
+                    len(queue),
+                    earliest_free,
+                    tenant_depth=queued_by_tenant.get(tenant, 0),
                 )
                 outcome.modelled_wait_us = decision.modelled_wait_us
                 if decision.admitted:
                     queue.append(outcome)
+                    queued_by_tenant[tenant] = (
+                        queued_by_tenant.get(tenant, 0) + 1
+                    )
                 else:
                     outcome.status = "shed"
                     outcome.shed_reason = decision.reason
                     outcome.retry_after_us = decision.retry_after_us
                 i += 1
                 continue
-            # Dispatch the batch that became ready at ``ready`` and could
-            # start at ``dispatch_at`` (engine serial).
+            # Dispatch the batch that became ready at ``ready`` onto the
+            # earliest-free worker (lowest index wins horizon ties).
+            worker = workers.index(earliest_free)
             batch = self.batcher.take(queue)
+            for r in batch:
+                queued_by_tenant[r.tenant] -= 1
             rows = [r.query_index for r in batch]
             results = self._run_batch(trace.queries[rows])
             io_us = max(r.io_latency_us for r in results)
@@ -322,13 +414,15 @@ class ServingFrontend:
                     size=len(batch),
                     io_us=io_us,
                     service_us=service_us,
+                    worker=worker,
+                    query_rows=rows,
                 )
             )
             for outcome, result in zip(batch, results):
-                # Up to ``blocked`` the request waited on a busy engine;
+                # Up to ``blocked`` the request waited on busy workers;
                 # from there to dispatch it waited on batch assembly.
                 blocked = min(
-                    max(engine_free_at, outcome.arrival_us), dispatch_at
+                    max(earliest_free, outcome.arrival_us), dispatch_at
                 )
                 outcome.status = "answered"
                 outcome.dispatch_us = dispatch_at
@@ -340,7 +434,7 @@ class ServingFrontend:
                 if self.keep_results:
                     outcome.result = result
             self.admission.observe_batch(service_us)
-            engine_free_at = completion
+            workers[worker] = completion
         return ServingReport(
             trace_name=trace.name,
             slo_us=self.slo_us,
@@ -349,4 +443,6 @@ class ServingFrontend:
             wall_s=time.perf_counter() - wall_start,
             shed_queue_full=self.admission.shed_queue_full,
             shed_wait_budget=self.admission.shed_wait_budget,
+            shed_tenant_quota=self.admission.shed_tenant_quota,
+            num_workers=self.num_workers,
         )

@@ -112,7 +112,17 @@ class TestValidation:
 
     def test_bad_requests(self, pool):
         with pytest.raises(ValueError):
-            make_arrival_trace(pool, 0, 100.0)
+            make_arrival_trace(pool, -1, 100.0)
+
+    def test_zero_requests_is_a_valid_empty_trace(self, pool):
+        # The serving layer must survive an empty schedule (see
+        # tests/test_serving_concurrent.py), so zero is not an error.
+        trace = make_arrival_trace(pool, 0, 100.0)
+        assert len(trace) == 0
+        assert trace.num_tenants == 0
+        assert trace.duration_us == 0.0
+        assert trace.offered_qps == 0.0
+        assert trace.query_matrix().shape == (0, pool.shape[1])
 
     def test_bad_skew(self, pool):
         with pytest.raises(ValueError):

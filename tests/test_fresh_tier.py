@@ -242,6 +242,80 @@ class TestInsertPath:
 
 
 # ----------------------------------------------------------------------
+# age-based flush trigger (fresh_max_age_ops)
+# ----------------------------------------------------------------------
+class TestAgeFlush:
+    def test_trickle_flushes_at_age_bound(self, vectors, rng):
+        # Far below the size threshold, the op-count clock still forces
+        # the buffered batch out after fresh_max_age_ops foreground ops.
+        index = SPFreshIndex.build(
+            vectors, config=_fresh_config(threshold=10_000, fresh_max_age_ops=5)
+        )
+        for i in range(4):
+            index.insert(9500 + i, rng.normal(size=DIM).astype(np.float32))
+        assert len(index.fresh_tier) == 4  # ages 1..4: not yet
+        index.insert(9504, rng.normal(size=DIM).astype(np.float32))
+        index.drain()
+        assert index.stats.fresh_flushes >= 1
+        assert len(index.fresh_tier) == 0
+        assignment = live_assignment(index)
+        for i in range(5):
+            assert 9500 + i in assignment
+
+    def test_deletes_count_toward_age(self, vectors, rng):
+        index = SPFreshIndex.build(
+            vectors, config=_fresh_config(threshold=10_000, fresh_max_age_ops=4)
+        )
+        index.insert(9510, rng.normal(size=DIM).astype(np.float32))
+        # Deletes of disk-resident ids age the buffered batch too.
+        for vid in (0, 1, 2):
+            index.delete(vid)
+        index.drain()
+        assert index.stats.fresh_flushes >= 1
+        assert len(index.fresh_tier) == 0
+        assert 9510 in live_assignment(index)
+
+    def test_age_clock_restarts_per_batch(self, vectors, rng):
+        index = SPFreshIndex.build(
+            vectors, config=_fresh_config(threshold=10_000, fresh_max_age_ops=6)
+        )
+        for i in range(6):
+            index.insert(9520 + i, rng.normal(size=DIM).astype(np.float32))
+        index.drain()
+        assert index.stats.fresh_flushes == 1
+        # A new batch gets a fresh clock: 5 more ops stay buffered.
+        for i in range(5):
+            index.insert(9530 + i, rng.normal(size=DIM).astype(np.float32))
+        index.drain()
+        assert index.stats.fresh_flushes == 1
+        assert len(index.fresh_tier) == 5
+
+    def test_disabled_by_default(self, vectors, rng):
+        index = SPFreshIndex.build(vectors, config=_fresh_config())
+        assert index.config.fresh_max_age_ops is None
+        for i in range(50):
+            index.insert(9540 + i, rng.normal(size=DIM).astype(np.float32))
+            index.delete(9540 + i)
+        index.insert(9999, rng.normal(size=DIM).astype(np.float32))
+        for vid in range(20):
+            index.delete(int(vid))
+        index.drain()
+        # No age trigger, under the size threshold: still buffered.
+        assert index.stats.fresh_flushes == 0
+        assert 9999 in index.fresh_tier
+
+    def test_empty_tier_does_not_age(self, vectors):
+        index = SPFreshIndex.build(
+            vectors, config=_fresh_config(threshold=10_000, fresh_max_age_ops=2)
+        )
+        # Deletes with nothing buffered never enqueue a flush.
+        for vid in range(10):
+            index.delete(int(vid))
+        index.drain()
+        assert index.stats.fresh_flushes == 0
+
+
+# ----------------------------------------------------------------------
 # differential oracle: FlatIndex in lockstep
 # ----------------------------------------------------------------------
 class TestDifferentialOracle:

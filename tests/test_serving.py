@@ -12,6 +12,7 @@ from repro.core.index import SPFreshIndex
 from repro.datasets import make_arrival_trace
 from repro.serving import (
     AdmissionController,
+    DwrrBatcher,
     DynamicBatcher,
     ServingFrontend,
 )
@@ -19,12 +20,21 @@ from tests.conftest import DIM
 
 
 class _Req:
-    def __init__(self, arrival_us):
+    def __init__(self, arrival_us, tenant=0, index=0):
         self.arrival_us = arrival_us
+        self.tenant = tenant
+        self.index = index
 
 
 def _queue(*times):
     return deque(_Req(t) for t in times)
+
+
+def _tenant_queue(*tenants):
+    """A queue of one request per tenant id, in arrival (= index) order."""
+    return deque(
+        _Req(float(i), tenant=t, index=i) for i, t in enumerate(tenants)
+    )
 
 
 class TestBatcher:
@@ -56,6 +66,91 @@ class TestBatcher:
             DynamicBatcher(max_batch=0, max_wait_us=10.0)
         with pytest.raises(ValueError):
             DynamicBatcher(max_batch=1, max_wait_us=-1.0)
+
+
+class TestDwrrBatcher:
+    def test_timing_triggers_identical_to_fifo(self):
+        fifo = DynamicBatcher(max_batch=3, max_wait_us=100.0)
+        dwrr = DwrrBatcher(max_batch=3, max_wait_us=100.0)
+        for queue in (
+            deque(),
+            _queue(10.0, 50.0),
+            _queue(10.0, 20.0, 30.0, 40.0),
+        ):
+            assert dwrr.ready_at(queue) == fifo.ready_at(queue)
+
+    def test_everything_fits_is_fifo(self):
+        b = DwrrBatcher(max_batch=8, max_wait_us=0.0)
+        q = _tenant_queue(0, 0, 1, 0)
+        batch = b.take(q)
+        assert [r.index for r in batch] == [0, 1, 2, 3]
+        assert not q
+
+    def test_equal_weights_split_contended_seats(self):
+        # 6 requests of tenant 0 ahead of 2 of tenant 1; FIFO would give
+        # all 4 seats to tenant 0, DWRR alternates rounds.
+        b = DwrrBatcher(max_batch=4, max_wait_us=0.0)
+        q = _tenant_queue(0, 0, 0, 0, 0, 0, 1, 1)
+        batch = b.take(q)
+        took = [r.tenant for r in batch]
+        assert took.count(0) == 2 and took.count(1) == 2
+        # Seats come out in arrival order regardless of visit order.
+        assert [r.index for r in batch] == sorted(r.index for r in batch)
+        assert len(q) == 4
+
+    def test_weights_set_per_batch_shares(self):
+        b = DwrrBatcher(max_batch=4, max_wait_us=0.0, tenant_weights=(3.0, 1.0))
+        q = _tenant_queue(*([0] * 8 + [1] * 8))
+        took = [r.tenant for r in b.take(q)]
+        assert took.count(0) == 3 and took.count(1) == 1
+
+    def test_deficit_carries_across_batches(self):
+        # Weight 0.5 vs 1.0: over two contended batches of 3 seats the
+        # light tenant gets 2 seats and the heavy one 4 — the exact 1:2
+        # share even though no single batch splits 1:2 evenly.
+        b = DwrrBatcher(max_batch=3, max_wait_us=0.0, tenant_weights=(0.5, 1.0))
+        q = _tenant_queue(*([0, 1] * 8))
+        took = [r.tenant for r in b.take(q)] + [r.tenant for r in b.take(q)]
+        assert took.count(0) == 2 and took.count(1) == 4
+
+    def test_drained_tenant_forfeits_credit(self):
+        b = DwrrBatcher(max_batch=2, max_wait_us=0.0, tenant_weights=(5.0, 1.0))
+        # Tenant 0 drains in the first batch; its leftover credit must
+        # not survive into the next contention.
+        q = _tenant_queue(0, 1, 1, 1)
+        first = b.take(q)
+        assert [r.tenant for r in first] == [0, 1]
+        assert 0 not in b._deficit
+        q2 = _tenant_queue(*([0] * 4 + [1] * 4))
+        took = [r.tenant for r in b.take(q2)]
+        # Fresh contention: weight 5 vs 1 gives tenant 0 both seats... no
+        # banked bonus beyond its configured weight is in play.
+        assert took.count(0) == 2
+
+    def test_tiny_weights_terminate_fast(self):
+        # Far-below-1 weights exercise the round fast-forward; the take
+        # must terminate and still fill every seat.
+        b = DwrrBatcher(
+            max_batch=4, max_wait_us=0.0, tenant_weights=(1e-9, 1e-9, 1e-9)
+        )
+        q = _tenant_queue(*([0, 1, 2] * 4))
+        batch = b.take(q)
+        assert len(batch) == 4
+        assert len(q) == 8
+
+    def test_weight_of_defaults_beyond_sequence(self):
+        b = DwrrBatcher(max_batch=2, max_wait_us=0.0, tenant_weights=(2.0,))
+        assert b.weight_of(0) == 2.0
+        assert b.weight_of(7) == 1.0
+        assert DwrrBatcher(max_batch=2, max_wait_us=0.0).weight_of(3) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DwrrBatcher(max_batch=1, max_wait_us=0.0, tenant_weights=())
+        with pytest.raises(ValueError):
+            DwrrBatcher(max_batch=1, max_wait_us=0.0, tenant_weights=(1.0, 0.0))
+        with pytest.raises(ValueError):
+            DwrrBatcher(max_batch=1, max_wait_us=0.0, tenant_weights=(-1.0,))
 
 
 class TestAdmission:
@@ -107,6 +202,68 @@ class TestAdmission:
         ctl.observe_batch(300.0)
         assert ctl.batch_service_estimate_us == pytest.approx(200.0)
 
+    def test_modelled_wait_divides_by_workers(self):
+        ctl = AdmissionController(
+            queue_capacity=100,
+            wait_budget_us=None,
+            max_batch=4,
+            initial_batch_service_us=100.0,
+            num_workers=4,
+        )
+        # 2 whole batches ahead drain on 4 concurrent workers.
+        assert ctl.modelled_wait_us(0.0, 9, 50.0) == 50.0 + 2 * 100.0 / 4
+
+    def test_single_worker_wait_model_unchanged(self):
+        serial = AdmissionController(
+            queue_capacity=100,
+            wait_budget_us=None,
+            max_batch=4,
+            initial_batch_service_us=100.0,
+        )
+        pooled = AdmissionController(
+            queue_capacity=100,
+            wait_budget_us=None,
+            max_batch=4,
+            initial_batch_service_us=100.0,
+            num_workers=1,
+        )
+        for depth in (0, 3, 9, 40):
+            assert serial.modelled_wait_us(
+                0.0, depth, 75.0
+            ) == pooled.modelled_wait_us(0.0, depth, 75.0)
+
+    def test_tenant_quota_sheds_over_share(self):
+        ctl = AdmissionController(
+            queue_capacity=8,
+            wait_budget_us=None,
+            max_batch=2,
+            tenant_quota_fraction=0.25,
+        )
+        assert ctl.tenant_quota == 2
+        assert ctl.admit(0.0, 3, 0.0, tenant_depth=1).admitted
+        d = ctl.admit(0.0, 3, 0.0, tenant_depth=2)
+        assert not d.admitted
+        assert d.reason == "tenant_quota"
+        assert d.retry_after_us > 0.0
+        assert ctl.shed_tenant_quota == 1
+
+    def test_tenant_quota_floor_is_one_slot(self):
+        # A microscopic fraction still leaves every tenant one slot, so a
+        # lone tenant on an empty queue is never quota-shed.
+        ctl = AdmissionController(
+            queue_capacity=4,
+            wait_budget_us=None,
+            max_batch=2,
+            tenant_quota_fraction=0.01,
+        )
+        assert ctl.tenant_quota == 1
+        assert ctl.admit(0.0, 0, 0.0, tenant_depth=0).admitted
+
+    def test_quota_disabled_by_default(self):
+        ctl = AdmissionController(queue_capacity=4, wait_budget_us=None, max_batch=2)
+        assert ctl.tenant_quota is None
+        assert ctl.admit(0.0, 3, 0.0, tenant_depth=3).admitted
+
     def test_validation(self):
         with pytest.raises(ValueError):
             AdmissionController(queue_capacity=0, wait_budget_us=None, max_batch=1)
@@ -114,6 +271,24 @@ class TestAdmission:
             AdmissionController(queue_capacity=1, wait_budget_us=-5.0, max_batch=1)
         with pytest.raises(ValueError):
             AdmissionController(queue_capacity=1, wait_budget_us=None, max_batch=0)
+        with pytest.raises(ValueError):
+            AdmissionController(
+                queue_capacity=1, wait_budget_us=None, max_batch=1, num_workers=0
+            )
+        with pytest.raises(ValueError):
+            AdmissionController(
+                queue_capacity=1,
+                wait_budget_us=None,
+                max_batch=1,
+                tenant_quota_fraction=0.0,
+            )
+        with pytest.raises(ValueError):
+            AdmissionController(
+                queue_capacity=1,
+                wait_budget_us=None,
+                max_batch=1,
+                tenant_quota_fraction=1.5,
+            )
 
 
 @pytest.fixture
@@ -314,6 +489,36 @@ class TestDeterminismAndConfig:
         )
         assert fe.batcher.max_batch == 3
 
+    def test_from_config_reads_concurrency_knobs(self, built_index):
+        config = SPFreshConfig(
+            dim=DIM,
+            serve_queue_capacity=16,
+            serve_num_workers=3,
+            serve_fairness="dwrr",
+            serve_tenant_weights=(2.0, 1.0),
+            serve_tenant_quota_fraction=0.5,
+        )
+        fe = ServingFrontend.from_config(built_index.searcher, config, k=5)
+        assert fe.num_workers == 3
+        assert fe.fairness == "dwrr"
+        assert isinstance(fe.batcher, DwrrBatcher)
+        assert fe.batcher.tenant_weights == (2.0, 1.0)
+        assert fe.admission.num_workers == 3
+        assert fe.admission.tenant_quota == 8
+
+    def test_fifo_default_uses_plain_batcher(self, built_index):
+        fe = ServingFrontend(built_index.searcher, k=5)
+        assert fe.num_workers == 1
+        assert fe.fairness == "fifo"
+        assert not isinstance(fe.batcher, DwrrBatcher)
+        assert fe.admission.tenant_quota is None
+
+    def test_frontend_validation(self, built_index):
+        with pytest.raises(ValueError):
+            ServingFrontend(built_index.searcher, k=5, num_workers=0)
+        with pytest.raises(ValueError):
+            ServingFrontend(built_index.searcher, k=5, fairness="lifo")
+
     @pytest.mark.parametrize(
         "bad",
         [
@@ -322,6 +527,13 @@ class TestDeterminismAndConfig:
             {"serve_max_wait_us": -1.0},
             {"serve_slo_us": 0.0},
             {"serve_admission_wait_budget_us": 0.0},
+            {"serve_num_workers": 0},
+            {"serve_fairness": "lifo"},
+            {"serve_tenant_weights": ()},
+            {"serve_tenant_weights": (1.0, 0.0)},
+            {"serve_tenant_quota_fraction": 0.0},
+            {"serve_tenant_quota_fraction": 1.5},
+            {"fresh_max_age_ops": 0},
         ],
     )
     def test_config_validation(self, bad):
